@@ -1,0 +1,342 @@
+// Package aegis is the public facade of the Aegis framework, a defense
+// that protects confidential VMs (AMD SEV guests) against hardware
+// performance counter (HPC) side channels, reproducing "Protecting
+// Confidential Virtual Machines from Hardware Performance Counter Side
+// Channels" (DSN 2024).
+//
+// Aegis runs in three stages:
+//
+//  1. Profile — run the protected application with its secrets in a
+//     template VM, rank the processor's HPC events by the mutual
+//     information they leak about the secrets (Application Profiler, §V).
+//  2. Fuzz — search instruction gadgets (reset+trigger pairs) that
+//     perturb each vulnerable event, confirm them, and reduce them to a
+//     minimal covering set (Event Fuzzer, §VI).
+//  3. Protect — deploy an in-VM obfuscator that injects the stacked
+//     gadget segment with a differential-privacy-calibrated repetition
+//     count per tick (Event Obfuscator, §VII), pinned to the same vCPU as
+//     the protected application.
+//
+// The package orchestrates the internal subsystems: a micro-architecture
+// simulator, an HPC/PMU model, an SEV host/guest world, generative
+// workloads, and from-scratch ML attack models used for evaluation.
+//
+// A minimal deployment:
+//
+//	fw, _ := aegis.New(aegis.Config{Seed: 1})
+//	app := &workload.WebsiteApp{}
+//	profile, _ := fw.Profile(app)
+//	gadgets, _ := fw.Fuzz(profile.Top(4))
+//	obf, _ := fw.Protect(vm, 0, gadgets, aegis.MechanismLaplace, 1.0)
+package aegis
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/aegis/internal/fuzzer"
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/profiler"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// Mechanism names accepted by NewDefense/Protect.
+const (
+	MechanismLaplace  = "laplace"
+	MechanismDStar    = "dstar"
+	MechanismRandom   = "random"   // §IX-A baseline, no privacy guarantee
+	MechanismConstant = "constant" // §IX-A baseline, pad to a constant
+)
+
+// Errors returned by the facade.
+var (
+	ErrUnknownMechanism = errors.New("aegis: unknown mechanism")
+	ErrNoGadgets        = errors.New("aegis: gadget set is empty")
+	ErrUnknownEvent     = errors.New("aegis: event not in catalog")
+)
+
+// Config tunes the framework. The zero value selects the AMD EPYC 7252
+// evaluation platform with moderate offline-analysis budgets.
+type Config struct {
+	// Processor selects the event catalog; empty means "AMD EPYC 7252".
+	Processor string
+	// Seed drives all stochastic behaviour; identical seeds reproduce
+	// identical pipelines.
+	Seed uint64
+	// ProfileTraceTicks is the leakage-trace length for ranking.
+	ProfileTraceTicks int
+	// ProfileRepeats is the measurements per secret.
+	ProfileRepeats int
+	// FuzzCandidates is the gadget candidates sampled per event.
+	FuzzCandidates int
+	// ClipBound is the obfuscator's B_u per-tick noise clip.
+	ClipBound float64
+	// Sensitivity converts normalised DP sensitivity to event counts.
+	Sensitivity float64
+}
+
+// Framework is a configured Aegis instance.
+type Framework struct {
+	cfg     Config
+	catalog *hpc.Catalog
+	legal   []isa.Variant
+}
+
+// New builds a framework for the configured processor.
+func New(cfg Config) (*Framework, error) {
+	if cfg.Processor == "" {
+		cfg.Processor = "AMD EPYC 7252"
+	}
+	if cfg.ProfileTraceTicks <= 0 {
+		cfg.ProfileTraceTicks = 120
+	}
+	if cfg.ProfileRepeats <= 0 {
+		cfg.ProfileRepeats = 8
+	}
+	if cfg.FuzzCandidates <= 0 {
+		cfg.FuzzCandidates = 600
+	}
+	if cfg.ClipBound <= 0 {
+		cfg.ClipBound = 20000
+	}
+	if cfg.Sensitivity <= 0 {
+		cfg.Sensitivity = 1500
+	}
+	catalog, err := hpc.CatalogByProcessor(cfg.Processor, 1)
+	if err != nil {
+		return nil, err
+	}
+	// The ISA specification follows the catalog's vendor.
+	var clean isa.CleanupResult
+	if catalog.Family == "intel-e5" {
+		clean = isa.Cleanup(isa.SpecIntelXeonE5(1), isa.IntelXeonE5Features())
+	} else {
+		clean = isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures())
+	}
+	return &Framework{cfg: cfg, catalog: catalog, legal: clean.Legal}, nil
+}
+
+// Catalog returns the processor's HPC event catalog.
+func (f *Framework) Catalog() *hpc.Catalog { return f.catalog }
+
+// LegalInstructions returns the number of instruction variants that
+// survive ISA cleanup on this processor.
+func (f *Framework) LegalInstructions() int { return len(f.legal) }
+
+// Profile is the result of the Application Profiler stage.
+type Profile struct {
+	// TotalEvents is the catalog size M.
+	TotalEvents int
+	// WarmupRemaining is N, the events responding to the application.
+	WarmupRemaining int
+	// Ranked lists the surviving events by descending mutual information.
+	Ranked []profiler.RankedEvent
+}
+
+// Top returns the names of the n most vulnerable events.
+func (p *Profile) Top(n int) []string {
+	if n > len(p.Ranked) {
+		n = len(p.Ranked)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.Ranked[i].Event.Name
+	}
+	return out
+}
+
+// Profile runs warm-up profiling and event ranking for the application.
+func (f *Framework) Profile(app workload.App) (*Profile, error) {
+	pcfg := profiler.DefaultConfig(f.cfg.Seed)
+	pcfg.TraceTicks = f.cfg.ProfileTraceTicks
+	pcfg.RankRepeats = f.cfg.ProfileRepeats
+	p := profiler.New(f.catalog, pcfg)
+	res, err := p.Profile(app)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", app.Name(), err)
+	}
+	return &Profile{
+		TotalEvents:     res.Warmup.TotalEvents,
+		WarmupRemaining: len(res.Warmup.Remaining),
+		Ranked:          res.Ranked,
+	}, nil
+}
+
+// GadgetSet is the result of the Event Fuzzer stage: a minimal covering
+// set of confirmed gadgets stacked into one injectable code segment.
+type GadgetSet struct {
+	// Events are the protected event names.
+	Events []string
+	// CoverSize is the number of gadgets in the minimal cover.
+	CoverSize int
+	// SegmentLen is the stacked segment's instruction count.
+	SegmentLen int
+	// GadgetsTried is the number of candidate executions.
+	GadgetsTried int
+
+	segment  []isa.Variant
+	refEvent *hpc.Event
+	// perEventBest maps each protected event to its strongest confirmed
+	// gadget sequence, used by multi-event deployments.
+	perEventBest map[string][]isa.Variant
+}
+
+// Fuzz searches and confirms gadgets for the named events and reduces
+// them to a minimal cover.
+func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
+	if len(eventNames) == 0 {
+		return nil, fuzzer.ErrNoTargetEvents
+	}
+	events := make([]*hpc.Event, 0, len(eventNames))
+	for _, n := range eventNames {
+		e, ok := f.catalog.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, n)
+		}
+		events = append(events, e)
+	}
+	fcfg := fuzzer.DefaultConfig(f.cfg.Seed)
+	fcfg.CandidatesPerEvent = f.cfg.FuzzCandidates
+	fz, err := fuzzer.New(f.legal, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fz.Fuzz(events)
+	if err != nil {
+		return nil, err
+	}
+	cover, err := fz.MinimalCover(res, events)
+	if err != nil {
+		return nil, err
+	}
+	segment := fuzzer.StackSegment(cover)
+	if len(segment) == 0 {
+		return nil, ErrNoGadgets
+	}
+	ref := events[0]
+	perEvent := make(map[string][]isa.Variant, len(eventNames))
+	for name, best := range res.Best {
+		perEvent[name] = best.Gadget.Sequence()
+	}
+	return &GadgetSet{
+		Events:       eventNames,
+		CoverSize:    len(cover),
+		SegmentLen:   len(segment),
+		GadgetsTried: res.CandidatesTried,
+		segment:      segment,
+		refEvent:     ref,
+		perEventBest: perEvent,
+	}, nil
+}
+
+// DefenseFactory builds fresh obfuscator instances (one per deployment).
+type DefenseFactory func(seed uint64) (*obfuscator.Obfuscator, error)
+
+// NewDefense returns a factory producing obfuscators for the gadget set
+// under the named mechanism. For the DP mechanisms param is ε; for the
+// baselines it is the noise bound / padding peak.
+func (f *Framework) NewDefense(gs *GadgetSet, mechanism string, param float64) (DefenseFactory, error) {
+	if gs == nil || len(gs.segment) == 0 {
+		return nil, ErrNoGadgets
+	}
+	switch mechanism {
+	case MechanismLaplace, MechanismDStar, MechanismRandom, MechanismConstant:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMechanism, mechanism)
+	}
+	cfg := f.cfg
+	return func(seed uint64) (*obfuscator.Obfuscator, error) {
+		r := rng.New(seed).Split("aegis-defense")
+		var (
+			mech obfuscator.Mechanism
+			err  error
+		)
+		switch mechanism {
+		case MechanismLaplace:
+			mech, err = obfuscator.NewLaplaceMechanism(param, cfg.Sensitivity, r)
+		case MechanismDStar:
+			mech, err = obfuscator.NewDStarMechanism(param, cfg.Sensitivity, r)
+		case MechanismRandom:
+			mech, err = obfuscator.NewRandomNoiseMechanism(param, r)
+		case MechanismConstant:
+			mech, err = obfuscator.NewConstantOutputMechanism(param)
+		default:
+			return nil, fmt.Errorf("%w: %q", ErrUnknownMechanism, mechanism)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return obfuscator.New(obfuscator.Config{
+			Mechanism: mech,
+			Segment:   gs.segment,
+			RefEvent:  gs.refEvent,
+			ClipBound: cfg.ClipBound,
+			Seed:      seed,
+		})
+	}, nil
+}
+
+// ProtectMulti deploys the multi-event reinforcement the paper recommends
+// the d* mechanism for (§VII-B): each protected event gets its own d*
+// recursion and its own strongest gadget sequence, all pinned to the
+// application's vCPU.
+func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon float64) (*obfuscator.MultiObfuscator, error) {
+	if gs == nil || len(gs.perEventBest) == 0 {
+		return nil, ErrNoGadgets
+	}
+	plans := make([]obfuscator.Plan, 0, len(gs.Events))
+	for i, name := range gs.Events {
+		seg, ok := gs.perEventBest[name]
+		if !ok {
+			continue // no confirmed gadget for this event
+		}
+		ev, ok := f.catalog.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownEvent, name)
+		}
+		mech, err := obfuscator.NewDStarMechanism(epsilon, f.cfg.Sensitivity,
+			rng.New(f.cfg.Seed).SplitN("multi-defense", i))
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, obfuscator.Plan{
+			Mechanism: mech,
+			Segment:   seg,
+			Event:     ev,
+			ClipBound: f.cfg.ClipBound,
+		})
+	}
+	if len(plans) == 0 {
+		return nil, ErrNoGadgets
+	}
+	multi, err := obfuscator.NewMulti(plans)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.AddProcess(vcpu, multi); err != nil {
+		return nil, err
+	}
+	return multi, nil
+}
+
+// Protect deploys an obfuscator into the VM, pinned to the given vCPU —
+// the same vCPU the protected application runs on, so the hypervisor
+// cannot schedule them apart (§VII-C).
+func (f *Framework) Protect(vm *sev.VM, vcpu int, gs *GadgetSet, mechanism string, param float64) (*obfuscator.Obfuscator, error) {
+	factory, err := f.NewDefense(gs, mechanism, param)
+	if err != nil {
+		return nil, err
+	}
+	obf, err := factory(f.cfg.Seed ^ rng.HashString(mechanism))
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.AddProcess(vcpu, obf); err != nil {
+		return nil, err
+	}
+	return obf, nil
+}

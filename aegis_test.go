@@ -1,0 +1,157 @@
+package aegis
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/workload"
+)
+
+func smallFramework(t *testing.T) *Framework {
+	t.Helper()
+	fw, err := New(Config{
+		Seed:              1,
+		ProfileTraceTicks: 50,
+		ProfileRepeats:    4,
+		FuzzCandidates:    150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestNewDefaults(t *testing.T) {
+	fw, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Catalog().Processor != "AMD EPYC 7252" {
+		t.Errorf("default processor = %q", fw.Catalog().Processor)
+	}
+	if fw.LegalInstructions() != 3407 {
+		t.Errorf("legal instructions = %d, want 3407", fw.LegalInstructions())
+	}
+}
+
+func TestNewIntelPlatform(t *testing.T) {
+	fw, err := New(Config{Processor: "Intel Xeon E5-1650"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.LegalInstructions() != 3386 {
+		t.Errorf("intel legal instructions = %d, want 3386", fw.LegalInstructions())
+	}
+}
+
+func TestNewUnknownProcessor(t *testing.T) {
+	if _, err := New(Config{Processor: "Quantum 9000"}); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	fw := smallFramework(t)
+	app := &workload.WebsiteApp{Sites: []string{"google.com", "youtube.com", "github.com"}}
+
+	profile, err := fw.Profile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.TotalEvents != 1903 {
+		t.Errorf("total events = %d", profile.TotalEvents)
+	}
+	if profile.WarmupRemaining == 0 || profile.WarmupRemaining > 300 {
+		t.Errorf("warmup remaining = %d", profile.WarmupRemaining)
+	}
+	top := profile.Top(4)
+	if len(top) != 4 {
+		t.Fatalf("top events = %v", top)
+	}
+
+	gadgets, err := fw.Fuzz(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gadgets.CoverSize == 0 || gadgets.SegmentLen == 0 {
+		t.Fatalf("gadget set = %+v", gadgets)
+	}
+	if gadgets.CoverSize > len(top) {
+		t.Errorf("cover size %d exceeds event count %d", gadgets.CoverSize, len(top))
+	}
+
+	world := sev.NewWorld(sev.DefaultConfig(2))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := fw.Protect(vm, 0, gadgets, MechanismLaplace, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Run(50)
+	if obf.InjectedReps() == 0 {
+		t.Error("protected VM injected no noise in 50 ticks")
+	}
+}
+
+func TestFuzzUnknownEvent(t *testing.T) {
+	fw := smallFramework(t)
+	if _, err := fw.Fuzz([]string{"NOT_AN_EVENT"}); !errors.Is(err, ErrUnknownEvent) {
+		t.Errorf("unknown event error = %v", err)
+	}
+	if _, err := fw.Fuzz(nil); err == nil {
+		t.Error("empty event list accepted")
+	}
+}
+
+func TestNewDefenseMechanisms(t *testing.T) {
+	fw := smallFramework(t)
+	gadgets, err := fw.Fuzz([]string{"RETIRED_UOPS", "LS_DISPATCH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range []string{MechanismLaplace, MechanismDStar, MechanismRandom, MechanismConstant} {
+		factory, err := fw.NewDefense(gadgets, mech, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if _, err := factory(3); err != nil {
+			t.Errorf("%s factory: %v", mech, err)
+		}
+	}
+	if _, err := fw.NewDefense(gadgets, "bogus", 1); !errors.Is(err, ErrUnknownMechanism) {
+		t.Errorf("bogus mechanism error = %v", err)
+	}
+	if _, err := fw.NewDefense(nil, MechanismLaplace, 1); !errors.Is(err, ErrNoGadgets) {
+		t.Errorf("nil gadget set error = %v", err)
+	}
+}
+
+func TestProtectMulti(t *testing.T) {
+	fw := smallFramework(t)
+	gadgets, err := fw.Fuzz([]string{"RETIRED_UOPS", "LS_DISPATCH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := sev.NewWorld(sev.DefaultConfig(5))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := fw.ProtectMulti(vm, 0, gadgets, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Plans() == 0 {
+		t.Fatal("no plans deployed")
+	}
+	world.Run(60)
+	if multi.InjectedReps() == 0 {
+		t.Error("multi-event deployment injected nothing")
+	}
+	if _, err := fw.ProtectMulti(vm, 0, nil, 1.0); !errors.Is(err, ErrNoGadgets) {
+		t.Errorf("nil gadget set error = %v", err)
+	}
+}

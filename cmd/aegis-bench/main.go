@@ -1,0 +1,227 @@
+// Command aegis-bench regenerates the paper's tables and figures on the
+// simulated SEV platform and prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	aegis-bench [-only table1,figure9a,...] [-scale test|eval] [-seed N]
+//
+// Without -only, every experiment runs in paper order. The eval scale
+// matches the values recorded in EXPERIMENTS.md; the test scale is a quick
+// smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/repro/aegis/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aegis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type job struct {
+	name string
+	run  func(experiment.Scale) (fmt.Stringer, error)
+}
+
+// renderable adapts experiment results to fmt.Stringer.
+type renderable struct{ s string }
+
+func (r renderable) String() string { return r.s }
+
+func wrap(s string, err error) (fmt.Stringer, error) {
+	return renderable{s: s}, err
+}
+
+func jobs() []job {
+	return []job{
+		{"table1", func(sc experiment.Scale) (fmt.Stringer, error) {
+			return wrap(experiment.Table1().Render(), nil)
+		}},
+		{"table2", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Table2(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"table3", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Table3(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure1", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure1(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure3", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure3(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure8", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure8(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure9a", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure9a(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure9b", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure9b(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure9c", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure9c(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure10", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure10(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"figure11", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.Figure11(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"constant", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.ConstantOutputComparison(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"operating", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.FindOperatingPoints(sc, 0.25, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"multitries", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.MultipleTriesAnalysis(sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"occupancy", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.CacheOccupancyExtension(sc, 0.125)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"ablation-cover", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.AblationSetCover(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"ablation-pca", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.AblationPCA(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"ablation-confirm", func(sc experiment.Scale) (fmt.Stringer, error) {
+			res, err := experiment.AblationConfirmation(sc)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(res.Render(), nil)
+		}},
+		{"ablation-buffer", func(sc experiment.Scale) (fmt.Stringer, error) {
+			return wrap(experiment.AblationNoiseBuffer(1<<20).Render(), nil)
+		}},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aegis-bench", flag.ContinueOnError)
+	var (
+		only  = fs.String("only", "", "comma-separated experiment names (default: all)")
+		scale = fs.String("scale", "eval", "scale: test | eval")
+		seed  = fs.Uint64("seed", 1, "experiment seed")
+		list  = fs.Bool("list", false, "list experiment names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, j := range jobs() {
+			fmt.Println(j.name)
+		}
+		return nil
+	}
+	var sc experiment.Scale
+	switch *scale {
+	case "test":
+		sc = experiment.TestScale(*seed)
+	case "eval":
+		sc = experiment.EvalScale(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	ran := 0
+	for _, j := range jobs() {
+		if len(selected) > 0 && !selected[j.name] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", j.name)
+		start := time.Now()
+		out, err := j.run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Println(out.String())
+		fmt.Printf("(%s in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command aegisctl drives the Aegis pipeline end to end on the simulated
+// SEV platform: profile an application, fuzz gadgets for its most
+// vulnerable HPC events, and deploy the obfuscator into a victim VM.
+//
+// Usage:
+//
+//	aegisctl [flags]
+//
+// Flags select the application, the DP mechanism and ε, and the offline
+// analysis budgets. The tool prints the profiler ranking, the gadget
+// cover, and the injection telemetry of a protected run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aegis "github.com/repro/aegis"
+	"github.com/repro/aegis/internal/experiment"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aegisctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aegisctl", flag.ContinueOnError)
+	var (
+		appName    = fs.String("app", "website", "application to protect: website | keystroke | dnn")
+		mechanism  = fs.String("mechanism", aegis.MechanismLaplace, "noise mechanism: laplace | dstar | random | constant")
+		epsilon    = fs.Float64("epsilon", 1.0, "privacy budget (or bound/peak for baselines)")
+		seed       = fs.Uint64("seed", 1, "experiment seed")
+		topEvents  = fs.Int("top", 4, "number of vulnerable events to protect")
+		secrets    = fs.Int("secrets", 6, "number of application secrets to profile")
+		candidates = fs.Int("candidates", 400, "fuzzing candidates per event")
+		ticks      = fs.Int("ticks", 200, "protected run length in ticks")
+		advise     = fs.Bool("advise", false, "auto-select epsilon: largest budget pushing a website-fingerprinting attacker to <= -target accuracy")
+		target     = fs.Float64("target", 0.25, "target attack accuracy for -advise")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := pickApp(*appName, *secrets)
+	if err != nil {
+		return err
+	}
+
+	fw, err := aegis.New(aegis.Config{
+		Seed:              *seed,
+		FuzzCandidates:    *candidates,
+		ProfileTraceTicks: 80,
+		ProfileRepeats:    4,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform: %s (%d legal instruction variants)\n",
+		fw.Catalog().Processor, fw.LegalInstructions())
+
+	fmt.Printf("\n[1/3] profiling %q over %d secrets...\n", app.Name(), len(app.Secrets()))
+	profile, err := fw.Profile(app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("warm-up: %d/%d events respond to the application\n",
+		profile.WarmupRemaining, profile.TotalEvents)
+	fmt.Println("most vulnerable events (mutual information, bits):")
+	for i, re := range profile.Ranked {
+		if i >= *topEvents {
+			break
+		}
+		fmt.Printf("  %2d. %-40s %.3f\n", i+1, re.Event.Name, re.MI)
+	}
+
+	fmt.Printf("\n[2/3] fuzzing gadgets for the top %d events...\n", *topEvents)
+	gadgets, err := fw.Fuzz(profile.Top(*topEvents))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tried %d candidates; minimal cover: %d gadgets (%d instructions stacked)\n",
+		gadgets.GadgetsTried, gadgets.CoverSize, gadgets.SegmentLen)
+
+	chosenEps := *epsilon
+	if *advise {
+		fmt.Printf("\n[advise] sweeping epsilon for target attack accuracy <= %.0f%%...\n", *target*100)
+		sc := experiment.TestScale(*seed)
+		points, err := experiment.FindOperatingPoints(sc, *target, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(points.Render())
+		kind := experiment.MechanismKind(*mechanism)
+		if p, ok := points.Point(kind); ok && p.Met {
+			chosenEps = p.Epsilon
+			fmt.Printf("using epsilon %g for %s\n", chosenEps, *mechanism)
+		} else {
+			fmt.Printf("no swept epsilon met the target for %s; keeping %g\n", *mechanism, chosenEps)
+		}
+	}
+
+	fmt.Printf("\n[3/3] deploying %s obfuscator (param %g) into a SEV guest...\n",
+		*mechanism, chosenEps)
+	world := sev.NewWorld(sev.DefaultConfig(*seed))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		return err
+	}
+	att := vm.Attest()
+	fmt.Printf("attestation: %s / %s (measurement %x)\n",
+		att.Processor, att.SEVVersion, att.Measurement)
+
+	lib := workload.DefaultLibrary(1)
+	stream := rng.New(*seed).Split("aegisctl")
+	runner := workload.NewRunner(app.Name(), lib, stream.Split("runner"))
+	for i, secret := range app.Secrets() {
+		job, err := app.Job(secret, stream.SplitN("job", i))
+		if err != nil {
+			return err
+		}
+		runner.Enqueue(job)
+	}
+	if err := vm.AddProcess(0, runner); err != nil {
+		return err
+	}
+	obf, err := fw.Protect(vm, 0, gadgets, *mechanism, chosenEps)
+	if err != nil {
+		return err
+	}
+	world.Run(*ticks)
+
+	usage, err := vm.CPUUsage(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprotected run: %d ticks, vCPU usage %.1f%%\n", *ticks, usage*100)
+	fmt.Printf("injected %d gadget-segment executions (%.0f reference-event counts, saturation %.1f%%)\n",
+		obf.InjectedReps(), obf.InjectedCounts(), obf.SaturationRate()*100)
+	fmt.Printf("completed %d/%d application jobs\n",
+		len(runner.Timings()), len(app.Secrets()))
+	return nil
+}
+
+func pickApp(name string, secrets int) (workload.App, error) {
+	switch name {
+	case "website":
+		sites := workload.Websites()
+		if secrets > 0 && secrets < len(sites) {
+			sites = sites[:secrets]
+		}
+		return &workload.WebsiteApp{Sites: sites}, nil
+	case "keystroke":
+		maxKeys := secrets
+		if maxKeys <= 0 || maxKeys > 10 {
+			maxKeys = 10
+		}
+		return &workload.KeystrokeApp{MaxKeys: maxKeys}, nil
+	case "dnn":
+		zoo := workload.ModelZoo()
+		if secrets > 0 && secrets < len(zoo) {
+			zoo = zoo[:secrets]
+		}
+		return &workload.DNNApp{Models: zoo}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want website, keystroke or dnn)", name)
+	}
+}

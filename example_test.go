@@ -1,0 +1,72 @@
+package aegis_test
+
+import (
+	"fmt"
+
+	aegis "github.com/repro/aegis"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// Example runs the minimal Aegis pipeline: fuzz gadgets for the four
+// monitored events, launch a SEV guest, and protect it with the Laplace
+// mechanism. All stages are seeded, so the output is deterministic.
+func Example() {
+	fw, err := aegis.New(aegis.Config{Seed: 1, FuzzCandidates: 150})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gadgets, err := fw.Fuzz([]string{"RETIRED_UOPS", "LS_DISPATCH"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	world := sev.NewWorld(sev.DefaultConfig(1))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	obf, err := fw.Protect(vm, 0, gadgets, aegis.MechanismLaplace, 1.0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	world.Run(30)
+
+	fmt.Printf("platform: %s\n", fw.Catalog().Processor)
+	fmt.Printf("protected events: %d, gadget cover: %d\n", len(gadgets.Events), gadgets.CoverSize)
+	fmt.Printf("noise injected: %v\n", obf.InjectedReps() > 0)
+	// Output:
+	// platform: AMD EPYC 7252
+	// protected events: 2, gadget cover: 1
+	// noise injected: true
+}
+
+// ExampleFramework_Profile shows the Application Profiler stage on a small
+// secret set.
+func ExampleFramework_Profile() {
+	fw, err := aegis.New(aegis.Config{
+		Seed:              1,
+		ProfileTraceTicks: 40,
+		ProfileRepeats:    3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	app := &workload.WebsiteApp{Sites: []string{"google.com", "youtube.com"}}
+	profile, err := fw.Profile(app)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("catalog events: %d\n", profile.TotalEvents)
+	fmt.Printf("events responding to the app: %v\n", profile.WarmupRemaining > 50)
+	fmt.Printf("top-1 exists: %v\n", len(profile.Top(1)) == 1)
+	// Output:
+	// catalog events: 1903
+	// events responding to the app: true
+	// top-1 exists: true
+}

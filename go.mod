@@ -1,0 +1,3 @@
+module github.com/repro/aegis
+
+go 1.22

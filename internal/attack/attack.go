@@ -1,0 +1,389 @@
+// Package attack implements the paper's three HPC side-channel attacks
+// (§III) against the simulated SEV world: website fingerprinting (WFA),
+// keystroke sniffing (KSA) and model extraction (MEA). Each attack follows
+// the paper's abstraction: collect labelled leakage traces X from a
+// template VM, train f_θ : X → Y, then predict secrets of the victim VM
+// from its traces. The same harness collects *defended* traces by pinning
+// an Aegis obfuscator to the victim's vCPU, which drives the defense
+// evaluation (Fig. 9).
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/ml"
+	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/trace"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// Errors returned by the package.
+var (
+	ErrNoDataset = errors.New("attack: empty dataset")
+	ErrNoEvents  = errors.New("attack: scenario has no monitored events")
+)
+
+// DefaultEventNames are the four monitored events of the paper's attacks
+// (§III-B), selected by the profiler's ranking.
+func DefaultEventNames() []string {
+	return []string{
+		"RETIRED_UOPS",
+		"LS_DISPATCH",
+		"MAB_ALLOCATION_BY_PIPE",
+		"DATA_CACHE_REFILLS_FROM_SYSTEM",
+	}
+}
+
+// DefenseFactory builds a fresh obfuscator per victim run (mechanism state
+// is per-deployment). The seed decorrelates noise across runs.
+type DefenseFactory func(seed uint64) (*obfuscator.Obfuscator, error)
+
+// Scenario describes one attack data-collection campaign.
+type Scenario struct {
+	// App is the victim application.
+	App workload.App
+	// Catalog is the processor's event catalog.
+	Catalog *hpc.Catalog
+	// EventNames are the monitored events (max 4); nil uses the default.
+	EventNames []string
+	// TracesPerSecret is the number of recordings per secret.
+	TracesPerSecret int
+	// TraceTicks is the length of each recording (the paper samples 3 s
+	// at 1 ms; the simulator default scales to 300 ticks).
+	TraceTicks int
+	// Seed drives all stochastic behaviour of the campaign.
+	Seed uint64
+	// World configures the host machine; zero value uses the AMD testbed.
+	World sev.Config
+	// DisableMonitorNoise turns off the host-side measurement noise that
+	// is otherwise always applied; calibration tests use it for exact
+	// reads.
+	DisableMonitorNoise bool
+}
+
+func (s *Scenario) events() ([]*hpc.Event, error) {
+	names := s.EventNames
+	if names == nil {
+		names = DefaultEventNames()
+	}
+	if len(names) == 0 {
+		return nil, ErrNoEvents
+	}
+	out := make([]*hpc.Event, 0, len(names))
+	for _, n := range names {
+		e, ok := s.Catalog.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("attack: catalog has no event %q", n)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// CollectOne records a single victim trace for the given secret, optionally
+// under a defense.
+func (s *Scenario) CollectOne(secret string, rep int, defense DefenseFactory) (trace.Trace, error) {
+	events, err := s.events()
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	worldCfg := s.World
+	if worldCfg.PhysicalCores == 0 {
+		worldCfg = sev.DefaultConfig(s.Seed)
+	}
+	stream := rng.New(s.Seed).Split("collect/"+secret).SplitN("rep", rep)
+	worldCfg.Seed = stream.Uint64()
+	world := sev.NewWorld(worldCfg)
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	runner := workload.NewRunner(s.App.Name(), workload.DefaultLibrary(1), stream.Split("runner"))
+	job, err := s.App.Job(secret, stream.Split("job"))
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	runner.Enqueue(job)
+	if err := vm.AddProcess(0, runner); err != nil {
+		return trace.Trace{}, err
+	}
+	if defense != nil {
+		obf, err := defense(stream.Uint64())
+		if err != nil {
+			return trace.Trace{}, err
+		}
+		if err := vm.AddProcess(0, obf); err != nil {
+			return trace.Trace{}, err
+		}
+	}
+	coreIdx, err := vm.PhysicalCore(0)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	core, err := world.Core(coreIdx)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	var monitorNoise *rng.Source
+	if !s.DisableMonitorNoise {
+		monitorNoise = stream.Split("monitor")
+	}
+	col, err := trace.NewCollector(core, events, monitorNoise)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	return trace.CollectDuring(world, col, s.TraceTicks, secret)
+}
+
+// Collect records the full labelled dataset: TracesPerSecret recordings per
+// secret, optionally under a defense.
+func (s *Scenario) Collect(defense DefenseFactory) (*trace.Dataset, error) {
+	events, err := s.events()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(events))
+	for i, e := range events {
+		names[i] = e.Name
+	}
+	ds := &trace.Dataset{EventNames: names}
+	for _, secret := range s.App.Secrets() {
+		for rep := 0; rep < s.TracesPerSecret; rep++ {
+			tr, err := s.CollectOne(secret, rep, defense)
+			if err != nil {
+				return nil, fmt.Errorf("collect %s rep %d: %w", secret, rep, err)
+			}
+			ds.Add(tr)
+		}
+	}
+	return ds, nil
+}
+
+// ModelKind selects the classification architecture.
+type ModelKind string
+
+// Classifier architectures: the MLP over flattened traces with pooled
+// summary features, or the paper's 1-D CNN over the raw channel series.
+const (
+	ModelMLP ModelKind = "mlp"
+	ModelCNN ModelKind = "cnn"
+)
+
+// Classifier is a trained classification attack (WFA or KSA). The paper
+// uses a compact CNN (§III-C); this harness offers both that CNN and an
+// MLP with engineered pooled features, selected by TrainConfig.Model.
+type Classifier struct {
+	mlp    *ml.MLP
+	cnn    *ml.CNN1D
+	labels *trace.LabelIndex
+	norm   *trace.Normalizer
+}
+
+// TrainConfig tunes attack-model training.
+type TrainConfig struct {
+	// Epochs of SGD (paper Fig. 1 trains until the curve flattens).
+	Epochs int
+	// ValFraction of the dataset held out for validation (paper: 0.3).
+	ValFraction float64
+	// Hidden layer widths (MLP only); nil uses defaults.
+	Hidden []int
+	// Model selects the architecture; empty means ModelMLP.
+	Model ModelKind
+	// Seed drives initialisation and shuffling.
+	Seed uint64
+}
+
+// DefaultTrainConfig returns the evaluation defaults.
+func DefaultTrainConfig(seed uint64) TrainConfig {
+	return TrainConfig{Epochs: 25, ValFraction: 0.3, Seed: seed}
+}
+
+// featurize z-scores a trace with the training normaliser and returns the
+// flattened time series plus per-channel pooled summaries (sum, max, and
+// burst count, i.e. ticks above 2σ). The pooled features give the MLP the
+// translation invariance the paper's CNN gets from convolution+pooling —
+// without them a keystroke burst at tick 10 and the same burst at tick 60
+// would look unrelated.
+func featurize(tr trace.Trace, norm *trace.Normalizer) []float64 {
+	cp := tr.Clone()
+	norm.Apply(&cp)
+	out := cp.Flatten()
+	for ch := 0; ch < cp.Events(); ch++ {
+		var sum, maxV float64
+		bursts := 0.0
+		for t := range cp.Data {
+			v := cp.Data[t][ch]
+			sum += v
+			if v > maxV {
+				maxV = v
+			}
+			if v > 2 {
+				bursts++
+			}
+		}
+		out = append(out, sum, maxV, bursts)
+	}
+	return out
+}
+
+// channels transposes a normalised trace into channels×length form for
+// the CNN.
+func channels(tr trace.Trace, norm *trace.Normalizer) [][]float64 {
+	cp := tr.Clone()
+	norm.Apply(&cp)
+	out := make([][]float64, cp.Events())
+	for ch := range out {
+		out[ch] = cp.Channel(ch)
+	}
+	return out
+}
+
+// TrainClassifier fits the classification attack on a labelled dataset and
+// returns the model plus per-epoch training curves (Fig. 1a/1b).
+func TrainClassifier(ds *trace.Dataset, cfg TrainConfig) (*Classifier, []ml.EpochStats, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil, ErrNoDataset
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 25
+	}
+	if cfg.ValFraction <= 0 || cfg.ValFraction >= 1 {
+		cfg.ValFraction = 0.3
+	}
+	if cfg.Model == "" {
+		cfg.Model = ModelMLP
+	}
+	r := rng.New(cfg.Seed).Split("classifier")
+	train, val := ds.Split(1-cfg.ValFraction, r)
+	norm, err := trace.FitNormalizer(train)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := trace.NewLabelIndex(ds.Classes())
+
+	if cfg.Model == ModelCNN {
+		build := func(sub *trace.Dataset) ([][][]float64, []int) {
+			xs := make([][][]float64, 0, sub.Len())
+			ys := make([]int, 0, sub.Len())
+			for _, tr := range sub.Traces {
+				xs = append(xs, channels(tr, norm))
+				ys = append(ys, labels.Index(tr.Label))
+			}
+			return xs, ys
+		}
+		trainX, trainY := build(train)
+		valX, valY := build(val)
+		cnnCfg := ml.DefaultCNNConfig(
+			train.Traces[0].Events(), train.Traces[0].Ticks(), labels.Len())
+		cnnCfg.Seed = float64(cfg.Seed + 1)
+		model, err := ml.NewCNN1D(cnnCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := model.Train(trainX, trainY, cfg.Epochs, valX, valY)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Classifier{cnn: model, labels: labels, norm: norm}, stats, nil
+	}
+
+	build := func(sub *trace.Dataset) ([][]float64, []int) {
+		xs := make([][]float64, 0, sub.Len())
+		ys := make([]int, 0, sub.Len())
+		for _, tr := range sub.Traces {
+			xs = append(xs, featurize(tr, norm))
+			ys = append(ys, labels.Index(tr.Label))
+		}
+		return xs, ys
+	}
+	trainX, trainY := build(train)
+	valX, valY := build(val)
+
+	inDim := len(trainX[0])
+	mlpCfg := ml.DefaultMLPConfig(inDim, labels.Len())
+	if cfg.Hidden != nil {
+		layers := append([]int{inDim}, cfg.Hidden...)
+		layers = append(layers, labels.Len())
+		mlpCfg.Layers = layers
+	}
+	mlpCfg.Seed = cfg.Seed + 1
+	model, err := ml.NewMLP(mlpCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := model.Train(trainX, trainY, cfg.Epochs, valX, valY)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Classifier{mlp: model, labels: labels, norm: norm}, stats, nil
+}
+
+// Predict returns the predicted secret of a single trace.
+func (c *Classifier) Predict(tr trace.Trace) (string, error) {
+	var idx int
+	var err error
+	if c.cnn != nil {
+		idx, err = c.cnn.Predict(channels(tr, c.norm))
+	} else {
+		idx, err = c.mlp.Predict(featurize(tr, c.norm))
+	}
+	if err != nil {
+		return "", err
+	}
+	return c.labels.Name(idx), nil
+}
+
+// Evaluate returns the attack accuracy on a labelled dataset (the victim
+// phase of the paper's attacks).
+func (c *Classifier) Evaluate(ds *trace.Dataset) (float64, error) {
+	if ds == nil || ds.Len() == 0 {
+		return 0, ErrNoDataset
+	}
+	correct := 0
+	for _, tr := range ds.Traces {
+		pred, err := c.Predict(tr)
+		if err != nil {
+			return 0, err
+		}
+		if pred == tr.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// Classes returns the number of secret classes (for random-guess baselines).
+func (c *Classifier) Classes() int { return c.labels.Len() }
+
+// ConfusionMatrix evaluates the classifier on a dataset and returns the
+// class-name-ordered confusion table (rows = true labels, columns =
+// predictions) plus the label order.
+func (c *Classifier) ConfusionMatrix(ds *trace.Dataset) ([][]int, []string, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil, ErrNoDataset
+	}
+	n := c.labels.Len()
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for _, tr := range ds.Traces {
+		truth := c.labels.Index(tr.Label)
+		if truth < 0 {
+			continue // trace labelled with a class unseen in training
+		}
+		pred, err := c.Predict(tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := c.labels.Index(pred)
+		if p >= 0 {
+			m[truth][p]++
+		}
+	}
+	return m, c.labels.Names(), nil
+}

@@ -1,0 +1,91 @@
+package attack
+
+import (
+	"github.com/repro/aegis/internal/ml"
+	"github.com/repro/aegis/internal/trace"
+)
+
+// TemplateAttack is the classical side-channel template attack baseline:
+// per-class Gaussian templates over compact per-channel summary features
+// (total, mean, max, burstiness). It trains in one pass with no SGD, which
+// makes it the cheapest attacker in the harness; the paper's machine-
+// learning attackers strictly dominate it, and the defense must beat both.
+type TemplateAttack struct {
+	model  *ml.TemplateClassifier
+	labels *trace.LabelIndex
+	norm   *trace.Normalizer
+}
+
+// templateFeatures reduces a normalised trace to 4 summary features per
+// channel.
+func templateFeatures(tr trace.Trace, norm *trace.Normalizer) []float64 {
+	cp := tr.Clone()
+	norm.Apply(&cp)
+	out := make([]float64, 0, cp.Events()*4)
+	for ch := 0; ch < cp.Events(); ch++ {
+		var sum, maxV, bursts float64
+		n := float64(cp.Ticks())
+		for t := range cp.Data {
+			v := cp.Data[t][ch]
+			sum += v
+			if v > maxV {
+				maxV = v
+			}
+			if v > 2 {
+				bursts++
+			}
+		}
+		out = append(out, sum, sum/n, maxV, bursts)
+	}
+	return out
+}
+
+// TrainTemplateAttack fits the template attack on a labelled dataset.
+func TrainTemplateAttack(ds *trace.Dataset) (*TemplateAttack, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, ErrNoDataset
+	}
+	norm, err := trace.FitNormalizer(ds)
+	if err != nil {
+		return nil, err
+	}
+	labels := trace.NewLabelIndex(ds.Classes())
+	xs := make([][]float64, 0, ds.Len())
+	ys := make([]int, 0, ds.Len())
+	for _, tr := range ds.Traces {
+		xs = append(xs, templateFeatures(tr, norm))
+		ys = append(ys, labels.Index(tr.Label))
+	}
+	model, err := ml.FitTemplate(xs, ys, labels.Len())
+	if err != nil {
+		return nil, err
+	}
+	return &TemplateAttack{model: model, labels: labels, norm: norm}, nil
+}
+
+// Predict returns the maximum-likelihood secret for a trace.
+func (a *TemplateAttack) Predict(tr trace.Trace) (string, error) {
+	idx, err := a.model.Predict(templateFeatures(tr, a.norm))
+	if err != nil {
+		return "", err
+	}
+	return a.labels.Name(idx), nil
+}
+
+// Evaluate returns the attack accuracy over a labelled dataset.
+func (a *TemplateAttack) Evaluate(ds *trace.Dataset) (float64, error) {
+	if ds == nil || ds.Len() == 0 {
+		return 0, ErrNoDataset
+	}
+	correct := 0
+	for _, tr := range ds.Traces {
+		pred, err := a.Predict(tr)
+		if err != nil {
+			return 0, err
+		}
+		if pred == tr.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}

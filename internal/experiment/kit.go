@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/repro/aegis/internal/attack"
+	"github.com/repro/aegis/internal/fuzzer"
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// DefenseKit bundles the offline Aegis artefacts shared by the defense
+// experiments: the fuzzed gadget cover, the stacked noise segment and the
+// reference event.
+type DefenseKit struct {
+	Catalog  *hpc.Catalog
+	Events   []*hpc.Event
+	Cover    []fuzzer.CoverageEntry
+	Segment  []isa.Variant
+	RefEvent *hpc.Event
+	// ClipBound is B_u for the reference event (paper: 2e4 for
+	// RETIRED_UOPS).
+	ClipBound float64
+	// Sensitivity converts the normalised DP sensitivity into reference
+	// event counts at the simulator's tick scale.
+	Sensitivity float64
+}
+
+// BuildDefenseKit runs the offline pipeline (fuzz → confirm → cover →
+// stack) over the paper's four monitored events.
+func BuildDefenseKit(sc Scale) (*DefenseKit, error) {
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	legal := isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures()).Legal
+	fcfg := fuzzer.DefaultConfig(sc.Seed)
+	fcfg.CandidatesPerEvent = sc.FuzzCandidates
+	fz, err := fuzzer.New(legal, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	var events []*hpc.Event
+	for _, name := range attack.DefaultEventNames() {
+		events = append(events, cat.MustByName(name))
+	}
+	res, err := fz.Fuzz(events)
+	if err != nil {
+		return nil, err
+	}
+	cover, err := fz.MinimalCover(res, events)
+	if err != nil {
+		return nil, err
+	}
+	seg := fuzzer.StackSegment(cover)
+	if len(seg) == 0 {
+		return nil, fmt.Errorf("experiment: fuzzer produced an empty cover segment")
+	}
+	return &DefenseKit{
+		Catalog:     cat,
+		Events:      events,
+		Cover:       cover,
+		Segment:     seg,
+		RefEvent:    cat.MustByName("RETIRED_UOPS"),
+		ClipBound:   20000,
+		Sensitivity: 1500,
+	}, nil
+}
+
+// MechanismKind selects a noise mechanism for defense sweeps.
+type MechanismKind string
+
+// Mechanism kinds.
+const (
+	MechLaplace  MechanismKind = "laplace"
+	MechDStar    MechanismKind = "dstar"
+	MechRandom   MechanismKind = "random"
+	MechConstant MechanismKind = "constant"
+)
+
+// Defense builds an attack.DefenseFactory for the kit with the given
+// mechanism and parameter (ε for DP mechanisms, the bound/peak for the
+// baselines).
+func (k *DefenseKit) Defense(kind MechanismKind, param float64) attack.DefenseFactory {
+	return func(seed uint64) (*obfuscator.Obfuscator, error) {
+		var (
+			mech obfuscator.Mechanism
+			err  error
+		)
+		r := rng.New(seed).Split("defense")
+		switch kind {
+		case MechLaplace:
+			mech, err = obfuscator.NewLaplaceMechanism(param, k.Sensitivity, r)
+		case MechDStar:
+			mech, err = obfuscator.NewDStarMechanism(param, k.Sensitivity, r)
+		case MechRandom:
+			mech, err = obfuscator.NewRandomNoiseMechanism(param, r)
+		case MechConstant:
+			mech, err = obfuscator.NewConstantOutputMechanism(param)
+		default:
+			return nil, fmt.Errorf("experiment: unknown mechanism %q", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return obfuscator.New(obfuscator.Config{
+			Mechanism: mech,
+			Segment:   k.Segment,
+			RefEvent:  k.RefEvent,
+			ClipBound: k.ClipBound,
+			Seed:      seed,
+		})
+	}
+}
+
+// websiteApp returns the scaled-down website application.
+func websiteApp(sc Scale) *workload.WebsiteApp {
+	sites := workload.Websites()
+	if sc.Sites > 0 && sc.Sites < len(sites) {
+		sites = sites[:sc.Sites]
+	}
+	return &workload.WebsiteApp{Sites: sites}
+}
+
+// keystrokeApp returns the scaled-down keystroke application.
+func keystrokeApp(sc Scale) *workload.KeystrokeApp {
+	return &workload.KeystrokeApp{WindowTicks: sc.TraceTicks, MaxKeys: sc.KeyClasses}
+}
+
+// dnnApp returns the scaled-down DNN application, picking models spread
+// across the three zoo families.
+func dnnApp(sc Scale) *workload.DNNApp {
+	zoo := workload.ModelZoo()
+	if sc.Models <= 0 || sc.Models >= len(zoo) {
+		return &workload.DNNApp{}
+	}
+	models := make([]workload.ModelArch, 0, sc.Models)
+	// Stride through the zoo so vgg/resnet/mobile families all appear.
+	stride := len(zoo) / sc.Models
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(zoo) && len(models) < sc.Models; i += stride {
+		models = append(models, zoo[i])
+	}
+	return &workload.DNNApp{Models: models}
+}
+
+// scenarioFor builds the collection scenario of one application.
+func scenarioFor(app workload.App, sc Scale, seedOffset uint64) *attack.Scenario {
+	return &attack.Scenario{
+		App:             app,
+		Catalog:         hpc.NewAMDEpyc7252Catalog(1),
+		TracesPerSecret: sc.TracesPerSecret,
+		TraceTicks:      sc.TraceTicks,
+		Seed:            sc.Seed + seedOffset,
+	}
+}

@@ -1,0 +1,178 @@
+package fuzzer
+
+import (
+	"strings"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/stats"
+)
+
+// Multi-instruction gadgets: paper §VI-D fuzzes one instruction per
+// reset/trigger sequence and notes that "our methodology can be easily
+// extended to multi-instruction sequences with larger search spaces, which
+// will be considered as future work". This file implements that extension:
+// reset and trigger become instruction sequences of configurable length,
+// searched with the same grammar, measured identically and confirmed with
+// the same repeated-trigger mechanism.
+
+// SeqGadget is a multi-instruction reset+trigger gadget.
+type SeqGadget struct {
+	Reset   []isa.Variant
+	Trigger []isa.Variant
+}
+
+// Sequence returns the executable instruction stream.
+func (g SeqGadget) Sequence() []isa.Variant {
+	out := make([]isa.Variant, 0, len(g.Reset)+len(g.Trigger))
+	out = append(out, g.Reset...)
+	out = append(out, g.Trigger...)
+	return out
+}
+
+// Key identifies the gadget.
+func (g SeqGadget) Key() string {
+	parts := make([]string, 0, len(g.Reset)+len(g.Trigger)+1)
+	for _, v := range g.Reset {
+		parts = append(parts, v.Key())
+	}
+	parts = append(parts, ";")
+	for _, v := range g.Trigger {
+		parts = append(parts, v.Key())
+	}
+	return strings.Join(parts, " ")
+}
+
+// SeqFinding is one confirmed multi-instruction gadget.
+type SeqFinding struct {
+	Gadget      SeqGadget
+	Event       *hpc.Event
+	MedianDelta float64
+}
+
+// repeatedTriggersSeq is the sequence generalisation of the cold/hot-path
+// confirmation: cold executes only the reset sequence, hot the full
+// gadget, both R times; the λ1/λ2 constraints are unchanged.
+func (b *bench) repeatedTriggersSeq(event *hpc.Event, reset, full []isa.Variant, cfg Config) (bool, error) {
+	R := cfg.Repeats
+	coldSingle := make([]float64, 0, R)
+	hotSingle := make([]float64, 0, R)
+	var v1Cum, v2Cum float64
+	for i := 0; i < R; i++ {
+		v, err := b.measureGadget(event, reset)
+		if err != nil {
+			return false, err
+		}
+		coldSingle = append(coldSingle, v)
+		v1Cum += v
+	}
+	for i := 0; i < R; i++ {
+		v, err := b.measureGadget(event, full)
+		if err != nil {
+			return false, err
+		}
+		hotSingle = append(hotSingle, v)
+		v2Cum += v
+	}
+	v1 := stats.Median(coldSingle)
+	v2 := stats.Median(hotSingle)
+	diff := v2 - v1
+	if diff < cfg.MinDelta {
+		return false, nil
+	}
+	lhs := v2Cum - v1Cum
+	rhs := float64(R) * diff
+	if lhs < (1-cfg.Lambda1)*rhs || lhs > (1+cfg.Lambda1)*rhs {
+		return false, nil
+	}
+	if v2Cum <= cfg.Lambda2*v1Cum {
+		return false, nil
+	}
+	return true, nil
+}
+
+// FuzzEventSequences searches multi-instruction gadgets with the given
+// reset/trigger sequence length for one event and returns the confirmed
+// findings. seqLen == 1 degenerates to the paper's single-instruction
+// search.
+func (f *Fuzzer) FuzzEventSequences(event *hpc.Event, seqLen int) ([]SeqFinding, int, error) {
+	if event == nil {
+		return nil, 0, ErrNoTargetEvents
+	}
+	if seqLen < 1 {
+		seqLen = 1
+	}
+	r := f.root.Split("seq-event/" + event.Name)
+	b := f.newBench(r.Split("bench"))
+
+	sample := func() []isa.Variant {
+		seq := make([]isa.Variant, seqLen)
+		for i := range seq {
+			seq[i] = f.legal[r.Intn(len(f.legal))]
+		}
+		return seq
+	}
+
+	type candidate struct {
+		g     SeqGadget
+		delta float64
+	}
+	var reported []candidate
+	tried := 0
+	for i := 0; i < f.cfg.CandidatesPerEvent; i++ {
+		g := SeqGadget{Reset: sample(), Trigger: sample()}
+		tried++
+		med, err := b.medianDelta(event, g.Sequence(), 3)
+		if err != nil {
+			return nil, tried, err
+		}
+		if med >= f.cfg.MinDelta {
+			reported = append(reported, candidate{g: g, delta: med})
+		}
+	}
+
+	if f.cfg.DisableConfirmation {
+		out := make([]SeqFinding, 0, len(reported))
+		for _, c := range reported {
+			out = append(out, SeqFinding{Gadget: c.g, Event: event, MedianDelta: c.delta})
+		}
+		return out, tried, nil
+	}
+
+	confirmBench := f.newBench(r.Split("confirm"))
+	var out []SeqFinding
+	for _, c := range reported {
+		ok, err := confirmBench.repeatedTriggersSeq(event, c.g.Reset, c.g.Sequence(), f.cfg)
+		if err != nil {
+			return nil, tried, err
+		}
+		if ok {
+			out = append(out, SeqFinding{Gadget: c.g, Event: event, MedianDelta: c.delta})
+		}
+	}
+	return out, tried, nil
+}
+
+// BestSequenceDelta returns the strongest confirmed multi-instruction
+// gadget delta for the event across sequence lengths 1..maxLen, measuring
+// how much extra perturbation longer gadgets buy.
+func (f *Fuzzer) BestSequenceDelta(event *hpc.Event, maxLen int) (map[int]float64, error) {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	out := make(map[int]float64, maxLen)
+	for n := 1; n <= maxLen; n++ {
+		findings, _, err := f.FuzzEventSequences(event, n)
+		if err != nil {
+			return nil, err
+		}
+		best := 0.0
+		for _, fd := range findings {
+			if fd.MedianDelta > best {
+				best = fd.MedianDelta
+			}
+		}
+		out[n] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package fuzzer
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/repro/aegis/internal/hpc"
+)
+
+func TestSeqGadgetKeyAndSequence(t *testing.T) {
+	legal := legalAMD(t)
+	g := SeqGadget{Reset: legal[:2], Trigger: legal[2:4]}
+	if len(g.Sequence()) != 4 {
+		t.Fatalf("sequence len = %d", len(g.Sequence()))
+	}
+	g2 := SeqGadget{Reset: legal[:2], Trigger: legal[4:6]}
+	if g.Key() == g2.Key() {
+		t.Error("distinct gadgets share a key")
+	}
+}
+
+func TestFuzzEventSequencesSingleMatchesGrammar(t *testing.T) {
+	f, err := New(legalAMD(t), smallConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	ev := cat.MustByName("LS_DISPATCH")
+	findings, tried, err := f.FuzzEventSequences(ev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tried != f.cfg.CandidatesPerEvent {
+		t.Errorf("tried = %d", tried)
+	}
+	for _, fd := range findings {
+		if len(fd.Gadget.Reset) != 1 || len(fd.Gadget.Trigger) != 1 {
+			t.Fatalf("seqLen=1 produced lengths %d/%d",
+				len(fd.Gadget.Reset), len(fd.Gadget.Trigger))
+		}
+		if fd.MedianDelta < f.cfg.MinDelta {
+			t.Errorf("finding below MinDelta: %v", fd.MedianDelta)
+		}
+	}
+}
+
+func TestFuzzEventSequencesLongerGadgetsStrongerDeltas(t *testing.T) {
+	// The point of multi-instruction gadgets: more trigger instructions
+	// per gadget can move counters further per execution.
+	cfg := smallConfig(41)
+	cfg.CandidatesPerEvent = 400
+	f, err := New(legalAMD(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	ev := cat.MustByName("LS_DISPATCH")
+	best, err := f.BestSequenceDelta(ev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best[1] <= 0 {
+		t.Skip("no single-instruction gadget at this budget")
+	}
+	if best[3] < best[1] {
+		t.Errorf("len-3 best delta %v below len-1 %v", best[3], best[1])
+	}
+}
+
+func TestFuzzEventSequencesValidation(t *testing.T) {
+	f, err := New(legalAMD(t), smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.FuzzEventSequences(nil, 2); !errors.Is(err, ErrNoTargetEvents) {
+		t.Errorf("nil event error = %v", err)
+	}
+	// Non-positive length clamps to 1.
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	if _, _, err := f.FuzzEventSequences(cat.MustByName("RETIRED_UOPS"), 0); err != nil {
+		t.Errorf("seqLen=0 errored: %v", err)
+	}
+}
+
+func TestFuzzEventSequencesDisableConfirmation(t *testing.T) {
+	cfg := smallConfig(43)
+	cfg.DisableConfirmation = true
+	f, err := New(legalAMD(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	raw, _, err := f.FuzzEventSequences(cat.MustByName("RETIRED_UOPS"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := smallConfig(43)
+	f2, err := New(legalAMD(t), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed, _, err := f2.FuzzEventSequences(cat.MustByName("RETIRED_UOPS"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confirmed) > len(raw) {
+		t.Errorf("confirmation added findings: %d > %d", len(confirmed), len(raw))
+	}
+}

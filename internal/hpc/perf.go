@@ -1,0 +1,142 @@
+package hpc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/rng"
+)
+
+// PerfAttr mirrors the perf_event_open attributes the paper configures:
+// pid-scoped monitoring and exclude_kernel to suppress host-kernel noise
+// (paper §V-B "Monitoring setup").
+type PerfAttr struct {
+	// Pid restricts monitoring to one process/VM; -1 means system wide.
+	Pid int
+	// ExcludeKernel removes host-kernel contributions from the counts,
+	// which substantially reduces measurement noise.
+	ExcludeKernel bool
+}
+
+// ErrNoEvents is returned when a session is opened without events.
+var ErrNoEvents = errors.New("hpc: perf session needs at least one event")
+
+// PerfSession is a perf_event_open-like monitoring session over any number
+// of events. When more events are requested than the core has counter
+// registers, the session time-multiplexes register groups across ticks and
+// scales the measured counts by total/active time — the same estimation
+// perf performs, with the same accuracy loss the paper warns about.
+type PerfSession struct {
+	attr   PerfAttr
+	events []*Event
+	noise  *rng.Source
+
+	groups     [][]int // event indices per multiplex group
+	activeGrp  int
+	ticksTotal []float64 // per event: ticks elapsed while session open
+	ticksLive  []float64 // per event: ticks its group was scheduled
+	counts     []float64 // per event: raw accumulated count while live
+	last       microarch.Counters
+	started    bool
+}
+
+// OpenPerfSession opens a monitoring session over the given events.
+func OpenPerfSession(attr PerfAttr, events []*Event, noise *rng.Source) (*PerfSession, error) {
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	for i, e := range events {
+		if e == nil {
+			return nil, fmt.Errorf("%w (index %d)", ErrNilEvent, i)
+		}
+	}
+	s := &PerfSession{
+		attr:       attr,
+		events:     append([]*Event(nil), events...),
+		noise:      noise,
+		ticksTotal: make([]float64, len(events)),
+		ticksLive:  make([]float64, len(events)),
+		counts:     make([]float64, len(events)),
+	}
+	for start := 0; start < len(events); start += NumCounterRegisters {
+		end := start + NumCounterRegisters
+		if end > len(events) {
+			end = len(events)
+		}
+		group := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			group = append(group, i)
+		}
+		s.groups = append(s.groups, group)
+	}
+	return s, nil
+}
+
+// Multiplexed reports whether the session needs time multiplexing.
+func (s *PerfSession) Multiplexed() bool { return len(s.groups) > 1 }
+
+// Tick advances the session by one sampling tick given the monitored
+// core's current raw counters. The active register group accumulates its
+// events' deltas; groups rotate round-robin per tick.
+func (s *PerfSession) Tick(now microarch.Counters) {
+	if !s.started {
+		s.last = now
+		s.started = true
+		return
+	}
+	delta := now.Sub(s.last)
+	s.last = now
+	vec := delta.Vector()
+
+	for i := range s.events {
+		s.ticksTotal[i]++
+	}
+	for _, idx := range s.groups[s.activeGrp] {
+		e := s.events[idx]
+		v := e.Value(vec)
+		if s.noise != nil && e.NoiseSigma > 0 {
+			sigma := e.NoiseSigma
+			if s.attr.ExcludeKernel {
+				sigma *= 0.4 // kernel exclusion removes most interference
+			}
+			v += s.noise.Gaussian(0, sigma*v+0.3)
+			if v < 0 {
+				v = 0
+			}
+		}
+		s.counts[idx] += v
+		s.ticksLive[idx]++
+	}
+	s.activeGrp = (s.activeGrp + 1) % len(s.groups)
+}
+
+// Read returns the scaled count estimate for the i-th event: the raw count
+// multiplied by total/live time, exactly as the perf subsystem extrapolates
+// multiplexed counters.
+func (s *PerfSession) Read(i int) (float64, error) {
+	if i < 0 || i >= len(s.events) {
+		return 0, fmt.Errorf("hpc: event index %d out of range", i)
+	}
+	if s.ticksLive[i] == 0 {
+		return 0, nil
+	}
+	return s.counts[i] * s.ticksTotal[i] / s.ticksLive[i], nil
+}
+
+// ReadAll returns the scaled estimates for every event, in open order.
+func (s *PerfSession) ReadAll() []float64 {
+	out := make([]float64, len(s.events))
+	for i := range s.events {
+		v, err := s.Read(i)
+		if err == nil {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Events returns the monitored events in open order.
+func (s *PerfSession) Events() []*Event {
+	return append([]*Event(nil), s.events...)
+}

@@ -1,0 +1,125 @@
+package hpc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/rng"
+)
+
+// NumCounterRegisters is the number of programmable HPC registers per core;
+// modern processors (and the paper's testbed) expose four.
+const NumCounterRegisters = 4
+
+// Errors returned by the PMU.
+var (
+	ErrBadSlot   = errors.New("hpc: counter slot out of range")
+	ErrSlotEmpty = errors.New("hpc: counter slot not programmed")
+	ErrNilEvent  = errors.New("hpc: nil event")
+)
+
+// PMU models one core's performance monitoring unit: four programmable
+// counter registers that accumulate a chosen event, read with an RDPMC
+// analog. Reads include measurement noise: relative Gaussian jitter plus
+// occasional interrupt-induced spikes, reproducing the paper's observation
+// (challenge C2) that HPCs never count precisely.
+type PMU struct {
+	core  *microarch.Core
+	noise *rng.Source
+	slots [NumCounterRegisters]*pmcSlot
+}
+
+type pmcSlot struct {
+	event *Event
+	base  microarch.Counters
+	// drift accumulates the noise already reported so that repeated RDPMC
+	// reads of an unchanged counter stay monotonic and consistent.
+	drift float64
+}
+
+// NewPMU attaches a PMU to a core. The noise source may be nil for exact
+// (noise-free) reads, which the tests use to verify derivations.
+func NewPMU(core *microarch.Core, noise *rng.Source) *PMU {
+	return &PMU{core: core, noise: noise}
+}
+
+// Program loads an event into a counter register and zeroes it.
+func (p *PMU) Program(slot int, e *Event) error {
+	if slot < 0 || slot >= NumCounterRegisters {
+		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	if e == nil {
+		return ErrNilEvent
+	}
+	p.slots[slot] = &pmcSlot{event: e, base: p.core.Counters()}
+	return nil
+}
+
+// Programmed returns the event loaded in a slot, or nil.
+func (p *PMU) Programmed(slot int) *Event {
+	if slot < 0 || slot >= NumCounterRegisters || p.slots[slot] == nil {
+		return nil
+	}
+	return p.slots[slot].event
+}
+
+// RDPMC reads a counter register: the event count accumulated since it was
+// programmed (or last reset), with measurement noise.
+func (p *PMU) RDPMC(slot int) (float64, error) {
+	if slot < 0 || slot >= NumCounterRegisters {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	s := p.slots[slot]
+	if s == nil {
+		return 0, ErrSlotEmpty
+	}
+	delta := p.core.Counters().Sub(s.base)
+	v := s.event.Value(delta.Vector())
+	if p.noise != nil && s.event.NoiseSigma > 0 {
+		// Relative jitter proportional to the accumulated count plus a
+		// small absolute floor so idle counters also wobble.
+		jitter := p.noise.Gaussian(0, s.event.NoiseSigma*v+0.05)
+		s.drift += jitter * 0.1 // most jitter is transient; a bit sticks
+		v += jitter + s.drift
+		// Interrupt spike: rare large positive excursion.
+		if p.noise.Float64() < 0.005 {
+			v += p.noise.Float64() * 50
+		}
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// Reset re-zeroes a programmed counter without changing its event.
+func (p *PMU) Reset(slot int) error {
+	if slot < 0 || slot >= NumCounterRegisters {
+		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	s := p.slots[slot]
+	if s == nil {
+		return ErrSlotEmpty
+	}
+	s.base = p.core.Counters()
+	s.drift = 0
+	return nil
+}
+
+// ReadAll reads every programmed slot, returning a map from event name to
+// value.
+func (p *PMU) ReadAll() map[string]float64 {
+	out := make(map[string]float64, NumCounterRegisters)
+	for i, s := range p.slots {
+		if s == nil {
+			continue
+		}
+		v, err := p.RDPMC(i)
+		if err != nil {
+			continue
+		}
+		out[s.event.Name] = v
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/repro/aegis/internal/rng"
+)
+
+// blobs generates an easily separable n-class dataset.
+func blobs(r *rng.Source, classes, perClass, dim int, sep float64) (xs [][]float64, ys []int) {
+	for c := 0; c < classes; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = r.Gaussian(0, sep)
+		}
+		for i := 0; i < perClass; i++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = center[j] + r.Gaussian(0, 1)
+			}
+			xs = append(xs, x)
+			ys = append(ys, c)
+		}
+	}
+	return xs, ys
+}
+
+func TestMLPLearnsBlobs(t *testing.T) {
+	r := rng.New(1)
+	xs, ys := blobs(r, 5, 40, 10, 6)
+	vx, vy := blobs(r, 5, 0, 10, 6) // empty val: exercise nil path
+	_ = vx
+	_ = vy
+
+	cfg := DefaultMLPConfig(10, 5)
+	m, err := NewMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Train(xs, ys, 20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := stats[len(stats)-1]
+	if final.TrainAcc < 0.9 {
+		t.Errorf("final train accuracy = %v, want > 0.9", final.TrainAcc)
+	}
+	if final.TrainLoss >= stats[0].TrainLoss {
+		t.Errorf("loss did not decrease: %v -> %v", stats[0].TrainLoss, final.TrainLoss)
+	}
+}
+
+func TestMLPGeneralises(t *testing.T) {
+	r := rng.New(2)
+	allX, allY := blobs(r, 4, 70, 8, 8)
+	// Per-class contiguous blocks: first 50 of each class train, rest val.
+	var xs, valXs [][]float64
+	var ys, valYs []int
+	for c := 0; c < 4; c++ {
+		base := c * 70
+		xs = append(xs, allX[base:base+50]...)
+		ys = append(ys, allY[base:base+50]...)
+		valXs = append(valXs, allX[base+50:base+70]...)
+		valYs = append(valYs, allY[base+50:base+70]...)
+	}
+
+	m, err := NewMLP(DefaultMLPConfig(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Train(xs, ys, 15, valXs, valYs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[len(stats)-1].ValAcc < 0.85 {
+		t.Errorf("val accuracy = %v, want > 0.85", stats[len(stats)-1].ValAcc)
+	}
+}
+
+func TestMLPPredictAndProba(t *testing.T) {
+	r := rng.New(3)
+	xs, ys := blobs(r, 3, 30, 6, 7)
+	m, err := NewMLP(DefaultMLPConfig(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(xs, ys, 15, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Proba(xs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			t.Errorf("negative probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if _, err := m.Predict(make([]float64, 3)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong-shape predict error = %v", err)
+	}
+}
+
+func TestMLPConfigValidation(t *testing.T) {
+	if _, err := NewMLP(MLPConfig{Layers: []int{5}}); err == nil {
+		t.Error("single layer accepted")
+	}
+	if _, err := NewMLP(MLPConfig{Layers: []int{5, 0}}); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+}
+
+func TestMLPTrainErrors(t *testing.T) {
+	m, err := NewMLP(DefaultMLPConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(nil, nil, 1, nil, nil); !errors.Is(err, ErrNoTrainingData) {
+		t.Errorf("empty train error = %v", err)
+	}
+	if _, err := m.Train([][]float64{{1, 2, 3, 4}}, []int{0, 1}, 1, nil, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("mismatched labels error = %v", err)
+	}
+	if _, err := m.Train([][]float64{{1}}, []int{0}, 1, nil, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong feature dim error = %v", err)
+	}
+}
+
+func TestMLPDeterministicTraining(t *testing.T) {
+	r := rng.New(4)
+	xs, ys := blobs(r, 3, 20, 5, 6)
+	train := func() float64 {
+		m, err := NewMLP(DefaultMLPConfig(5, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Train(xs, ys, 5, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats[len(stats)-1].TrainLoss
+	}
+	if train() != train() {
+		t.Error("identical configs trained to different losses")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	if Argmax(p) != 2 {
+		t.Error("softmax argmax wrong")
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 1000})
+	if math.IsNaN(p[0]) || math.Abs(p[0]-0.5) > 1e-9 {
+		t.Errorf("softmax overflow: %v", p)
+	}
+}
+
+func TestLogSoftmaxConsistent(t *testing.T) {
+	logits := []float64{0.5, -1, 2, 0}
+	ls := LogSoftmax(logits)
+	p := Softmax(logits)
+	for i := range p {
+		if math.Abs(math.Exp(ls[i])-p[i]) > 1e-12 {
+			t.Errorf("exp(logsoftmax) != softmax at %d", i)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Error("empty argmax != -1")
+	}
+	if Argmax([]float64{3, 1, 2}) != 0 {
+		t.Error("argmax wrong")
+	}
+}
+
+func TestTemplateClassifier(t *testing.T) {
+	r := rng.New(5)
+	xs, ys := blobs(r, 4, 50, 6, 8)
+	tc, err := FitTemplate(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tc.Accuracy(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("template accuracy = %v, want > 0.9", acc)
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	if _, err := FitTemplate(nil, nil, 2); !errors.Is(err, ErrNoTrainingData) {
+		t.Errorf("empty fit error = %v", err)
+	}
+	if _, err := FitTemplate([][]float64{{1}}, []int{5}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	tc, err := FitTemplate([][]float64{{1, 2}, {3, 4}}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Predict([]float64{1}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong-dim predict error = %v", err)
+	}
+}
+
+func TestMetricsAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy != 0")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("length mismatch accuracy != 0")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := ConfusionMatrix([]int{0, 1, 1}, []int{0, 1, 0}, 2)
+	if cm[0][0] != 1 || cm[1][1] != 1 || cm[0][1] != 1 {
+		t.Errorf("confusion = %v", cm)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, []int{1, 3}, 1},
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 3},
+		{nil, []int{1, 2}, 2},
+		{[]int{1, 2}, nil, 2},
+		{[]int{1, 2, 3, 4}, []int{2, 3, 4, 5}, 2},
+	} {
+		if got := EditDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("EditDistance(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSequenceAccuracy(t *testing.T) {
+	if a := SequenceAccuracy([]int{1, 2, 3}, []int{1, 2, 3}); a != 1 {
+		t.Errorf("perfect sequence accuracy = %v", a)
+	}
+	if a := SequenceAccuracy(nil, []int{1, 2}); a != 0 {
+		t.Errorf("empty prediction accuracy = %v", a)
+	}
+	if a := SequenceAccuracy(nil, nil); a != 1 {
+		t.Errorf("both empty accuracy = %v", a)
+	}
+	long := make([]int, 100)
+	if a := SequenceAccuracy(long, []int{9}); a != 0 {
+		t.Errorf("clamped accuracy = %v", a)
+	}
+}
+
+func TestPerClassMetrics(t *testing.T) {
+	// Confusion: class 0 perfectly predicted; class 1 half lost to 0.
+	cm := [][]int{
+		{10, 0},
+		{5, 5},
+	}
+	ms := PerClassMetrics(cm)
+	if math.Abs(ms[0].Recall-1) > 1e-12 {
+		t.Errorf("class0 recall = %v", ms[0].Recall)
+	}
+	if math.Abs(ms[0].Precision-10.0/15) > 1e-12 {
+		t.Errorf("class0 precision = %v", ms[0].Precision)
+	}
+	if math.Abs(ms[1].Recall-0.5) > 1e-12 {
+		t.Errorf("class1 recall = %v", ms[1].Recall)
+	}
+	if math.Abs(ms[1].Precision-1) > 1e-12 {
+		t.Errorf("class1 precision = %v", ms[1].Precision)
+	}
+	f1 := MacroF1(cm)
+	if f1 <= 0 || f1 >= 1 {
+		t.Errorf("macro F1 = %v", f1)
+	}
+	if MacroF1(nil) != 0 {
+		t.Error("empty macro F1 != 0")
+	}
+	// Degenerate class with no examples or predictions.
+	ms = PerClassMetrics([][]int{{0, 0}, {0, 3}})
+	if ms[0].Precision != 0 || ms[0].Recall != 0 || ms[0].F1 != 0 {
+		t.Errorf("empty class metrics = %+v", ms[0])
+	}
+}

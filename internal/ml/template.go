@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// TemplateClassifier is a Gaussian naive-Bayes template attack: per class
+// and feature it fits an independent Gaussian, and classifies by maximum
+// log-likelihood. It mirrors the classic side-channel template attack and
+// the paper's Gaussian modelling of event values (paper §V-B).
+type TemplateClassifier struct {
+	classes int
+	dim     int
+	mean    [][]float64
+	varr    [][]float64
+	prior   []float64
+}
+
+// FitTemplate fits the classifier on feature vectors xs with dense labels
+// ys in [0, classes).
+func FitTemplate(xs [][]float64, ys []int, classes int) (*TemplateClassifier, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d samples, %d labels", ErrShapeMismatch, len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	t := &TemplateClassifier{classes: classes, dim: dim}
+	t.mean = make([][]float64, classes)
+	t.varr = make([][]float64, classes)
+	t.prior = make([]float64, classes)
+	counts := make([]float64, classes)
+	for c := 0; c < classes; c++ {
+		t.mean[c] = make([]float64, dim)
+		t.varr[c] = make([]float64, dim)
+	}
+	for i, x := range xs {
+		y := ys[i]
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("ml: label %d out of range [0,%d)", y, classes)
+		}
+		if len(x) != dim {
+			return nil, fmt.Errorf("%w: sample %d has %d features, want %d", ErrShapeMismatch, i, len(x), dim)
+		}
+		counts[y]++
+		for j, v := range x {
+			t.mean[y][j] += v
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range t.mean[c] {
+			t.mean[c][j] /= counts[c]
+		}
+		t.prior[c] = counts[c] / float64(len(xs))
+	}
+	for i, x := range xs {
+		y := ys[i]
+		for j, v := range x {
+			d := v - t.mean[y][j]
+			t.varr[y][j] += d * d
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range t.varr[c] {
+			t.varr[c][j] /= counts[c]
+			if t.varr[c][j] < 1e-9 {
+				t.varr[c][j] = 1e-9
+			}
+		}
+	}
+	return t, nil
+}
+
+// LogLikelihoods returns per-class log posterior scores for x.
+func (t *TemplateClassifier) LogLikelihoods(x []float64) ([]float64, error) {
+	if len(x) != t.dim {
+		return nil, fmt.Errorf("%w: got %d features, want %d", ErrShapeMismatch, len(x), t.dim)
+	}
+	out := make([]float64, t.classes)
+	for c := 0; c < t.classes; c++ {
+		if t.prior[c] == 0 {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		ll := math.Log(t.prior[c])
+		for j, v := range x {
+			d := v - t.mean[c][j]
+			ll += -0.5*(d*d/t.varr[c][j]) - 0.5*math.Log(2*math.Pi*t.varr[c][j])
+		}
+		out[c] = ll
+	}
+	return out, nil
+}
+
+// Predict returns the maximum-likelihood class for x.
+func (t *TemplateClassifier) Predict(x []float64) (int, error) {
+	ll, err := t.LogLikelihoods(x)
+	if err != nil {
+		return 0, err
+	}
+	return Argmax(ll), nil
+}
+
+// Accuracy evaluates the classifier on a labelled set.
+func (t *TemplateClassifier) Accuracy(xs [][]float64, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoTrainingData
+	}
+	correct := 0
+	for i, x := range xs {
+		p, err := t.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if p == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}

@@ -1,0 +1,273 @@
+// Package obfuscator implements Aegis's Event Obfuscator (paper §VII): the
+// online module deployed inside the victim VM that injects instruction
+// gadget executions into the VM's execution flow so that the HPC values
+// observed by the malicious host are differentially private.
+//
+// Two DP mechanisms are provided: the Laplace mechanism (ε-DP per
+// Theorem 1) and the d* mechanism ((d*, 2ε)-privacy per Theorem 2,
+// following Chan et al.'s binary tree composition). Two non-private
+// baselines — uniform random noise and constant-output padding — exist for
+// the paper's §IX-A comparison. The runtime splits into a kernel module
+// (reads real-time HPC values with RDPMC, needed by d*) and a userspace
+// daemon (noise calculator with a precomputed buffer, plus the noise
+// injector), mirroring the paper's architecture.
+package obfuscator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/repro/aegis/internal/rng"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadEpsilon = errors.New("obfuscator: epsilon must be positive")
+	ErrBadBound   = errors.New("obfuscator: bound must be positive")
+)
+
+// Mechanism produces the per-tick noise (in event counts) to inject.
+type Mechanism interface {
+	// Name identifies the mechanism ("laplace", "dstar", ...).
+	Name() string
+	// NeedsObservation reports whether the mechanism requires the
+	// real-time HPC value x[t] (read by the kernel module via RDPMC).
+	NeedsObservation() bool
+	// Noise returns the raw (unclipped) noise for tick t given the
+	// observed count x (ignored unless NeedsObservation).
+	Noise(t int64, x float64) float64
+}
+
+// NoiseCalculator pre-computes unit-scale Laplace samples into a ring
+// buffer, transforming uniform [0,1) variates directly (paper §VII-C: the
+// calculator avoids library calls on the hot path by transforming uniform
+// samples and buffering them).
+type NoiseCalculator struct {
+	buf  []float64
+	next int
+	r    *rng.Source
+}
+
+// NewNoiseCalculator builds a calculator with the given buffer size.
+func NewNoiseCalculator(bufSize int, r *rng.Source) *NoiseCalculator {
+	if bufSize < 16 {
+		bufSize = 16
+	}
+	c := &NoiseCalculator{buf: make([]float64, bufSize), r: r}
+	c.refill()
+	return c
+}
+
+func (c *NoiseCalculator) refill() {
+	for i := range c.buf {
+		// Inverse-CDF transform of a uniform variate to Laplace(0, 1).
+		u := c.r.Float64() - 0.5
+		if u < 0 {
+			c.buf[i] = math.Log(1 + 2*u)
+		} else {
+			c.buf[i] = -math.Log(1 - 2*u)
+		}
+	}
+	c.next = 0
+}
+
+// Lap returns the next buffered sample scaled to Laplace(0, scale).
+func (c *NoiseCalculator) Lap(scale float64) float64 {
+	if c.next >= len(c.buf) {
+		c.refill()
+	}
+	v := c.buf[c.next] * scale
+	c.next++
+	return v
+}
+
+// LaplaceMechanism adds Lap(Δ/ε) noise per tick (paper Theorem 1: ε-DP).
+type LaplaceMechanism struct {
+	Epsilon float64
+	// Sensitivity is Δx[t]; the paper normalises sequences and uses 1.
+	Sensitivity float64
+	calc        *NoiseCalculator
+}
+
+// NewLaplaceMechanism builds the mechanism; sensitivity <= 0 defaults to 1.
+func NewLaplaceMechanism(epsilon, sensitivity float64, r *rng.Source) (*LaplaceMechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		sensitivity = 1
+	}
+	return &LaplaceMechanism{
+		Epsilon:     epsilon,
+		Sensitivity: sensitivity,
+		calc:        NewNoiseCalculator(4096, r),
+	}, nil
+}
+
+// Name implements Mechanism.
+func (m *LaplaceMechanism) Name() string { return "laplace" }
+
+// NeedsObservation implements Mechanism: the Laplace mechanism is oblivious
+// to the actual HPC values, which also suits the paper's stricter threat
+// model where the host manipulates HPC read calls.
+func (m *LaplaceMechanism) NeedsObservation() bool { return false }
+
+// Noise implements Mechanism.
+func (m *LaplaceMechanism) Noise(_ int64, _ float64) float64 {
+	return m.calc.Lap(m.Sensitivity / m.Epsilon)
+}
+
+// DStarMechanism implements the d* mechanism of paper §VII-B: a binary-
+// tree-structured composition where the noisy value at tick t is derived
+// from the noisy value at G(t):
+//
+//	x̃[t] = x̃[G(t)] + (x[t] − x[G(t)]) + r_t
+//
+// so the injected noise recursion is n_t = n_{G(t)} + r_t with r_t drawn
+// per Eq. 5. It satisfies (d*, 2ε)-privacy (Theorem 2).
+type DStarMechanism struct {
+	Epsilon     float64
+	Sensitivity float64
+	calc        *NoiseCalculator
+	// noiseAt memoises the *clipped, applied* noise per tick so the
+	// recursion reuses exactly what was injected. The obfuscator stores
+	// values back via Commit.
+	noiseAt map[int64]float64
+}
+
+// NewDStarMechanism builds the mechanism.
+func NewDStarMechanism(epsilon, sensitivity float64, r *rng.Source) (*DStarMechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		sensitivity = 1
+	}
+	return &DStarMechanism{
+		Epsilon:     epsilon,
+		Sensitivity: sensitivity,
+		calc:        NewNoiseCalculator(4096, r),
+		noiseAt:     map[int64]float64{0: 0},
+	}, nil
+}
+
+// Name implements Mechanism.
+func (m *DStarMechanism) Name() string { return "dstar" }
+
+// NeedsObservation implements Mechanism: the d* recursion tracks real HPC
+// values across ticks, which is why the kernel module monitors them.
+func (m *DStarMechanism) NeedsObservation() bool { return true }
+
+// D returns the largest power of two dividing t (paper Eq. 4 context).
+func D(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return t & (-t)
+}
+
+// G returns the tree parent of t per paper Eq. 4.
+func G(t int64) int64 {
+	switch {
+	case t == 1:
+		return 0
+	case t == D(t) && t >= 2:
+		return t / 2
+	default:
+		return t - D(t)
+	}
+}
+
+// Noise implements Mechanism. The observed x is unused directly (the
+// recursion over injected noise absorbs x[t]−x[G(t)] because the injector
+// adds noise on top of whatever the application does), but the kernel
+// module still reads it to follow the paper's dataflow.
+func (m *DStarMechanism) Noise(t int64, _ float64) float64 {
+	if t < 1 {
+		return 0
+	}
+	var r float64
+	if t == D(t) {
+		r = m.calc.Lap(m.Sensitivity / m.Epsilon)
+	} else {
+		r = m.calc.Lap(m.Sensitivity * math.Floor(math.Log2(float64(t))) / m.Epsilon)
+	}
+	parent, ok := m.noiseAt[G(t)]
+	if !ok {
+		parent = 0
+	}
+	return parent + r
+}
+
+// Commit records the clipped noise actually injected at tick t, feeding
+// future recursion steps.
+func (m *DStarMechanism) Commit(t int64, applied float64) {
+	m.noiseAt[t] = applied
+	// Bound memory: only ancestors of future ticks are needed; drop
+	// entries older than the lowest possible ancestor (t - 2^k window).
+	if len(m.noiseAt) > 4096 {
+		cut := t - 2048
+		for k := range m.noiseAt {
+			if k != 0 && k < cut {
+				delete(m.noiseAt, k)
+			}
+		}
+	}
+}
+
+// RandomNoiseMechanism is the §IX-A baseline: uniform noise in [0, Bound]
+// with no privacy guarantee.
+type RandomNoiseMechanism struct {
+	Bound float64
+	r     *rng.Source
+}
+
+// NewRandomNoiseMechanism builds the baseline.
+func NewRandomNoiseMechanism(bound float64, r *rng.Source) (*RandomNoiseMechanism, error) {
+	if bound <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBound, bound)
+	}
+	return &RandomNoiseMechanism{Bound: bound, r: r}, nil
+}
+
+// Name implements Mechanism.
+func (m *RandomNoiseMechanism) Name() string { return "random" }
+
+// NeedsObservation implements Mechanism.
+func (m *RandomNoiseMechanism) NeedsObservation() bool { return false }
+
+// Noise implements Mechanism.
+func (m *RandomNoiseMechanism) Noise(_ int64, _ float64) float64 {
+	return m.r.Float64() * m.Bound
+}
+
+// ConstantOutputMechanism is the §IX-A "constant HPC output" baseline: pad
+// every tick up to the peak value p, which the paper shows costs ~18× more
+// noise than the Laplace mechanism.
+type ConstantOutputMechanism struct {
+	Peak float64
+}
+
+// NewConstantOutputMechanism builds the baseline.
+func NewConstantOutputMechanism(peak float64) (*ConstantOutputMechanism, error) {
+	if peak <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBound, peak)
+	}
+	return &ConstantOutputMechanism{Peak: peak}, nil
+}
+
+// Name implements Mechanism.
+func (m *ConstantOutputMechanism) Name() string { return "constant" }
+
+// NeedsObservation implements Mechanism: padding to a constant requires
+// knowing the current value.
+func (m *ConstantOutputMechanism) NeedsObservation() bool { return true }
+
+// Noise implements Mechanism.
+func (m *ConstantOutputMechanism) Noise(_ int64, x float64) float64 {
+	if x >= m.Peak {
+		return 0
+	}
+	return m.Peak - x
+}

@@ -1,0 +1,178 @@
+package obfuscator
+
+import (
+	"fmt"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/sev"
+)
+
+// Plan protects one critical HPC event with its own mechanism and gadget
+// segment.
+type Plan struct {
+	Mechanism Mechanism
+	Segment   []isa.Variant
+	Event     *hpc.Event
+	ClipBound float64
+}
+
+// MultiObfuscator reinforces protection for multiple critical HPC events
+// simultaneously, the deployment style the paper recommends the d*
+// mechanism for (§VII-B: "d* mechanism is better suited for reinforcing
+// protection for multiple critical HPC events"). Each plan runs its own
+// noise recursion and injects its own gadget segment; the plans share the
+// vCPU tick budget round-robin.
+type MultiObfuscator struct {
+	plans []planState
+
+	injectedReps int64
+	ticks        int64
+}
+
+type planState struct {
+	plan    Plan
+	kmod    kernelModule
+	perExec float64
+	// injectedCounts per plan, in its event's units.
+	injectedCounts float64
+}
+
+var _ sev.Process = (*MultiObfuscator)(nil)
+
+// NewMulti builds a multi-event obfuscator. Every plan needs a mechanism,
+// a non-empty segment and an event; clip bounds default to 20000.
+func NewMulti(plans []Plan) (*MultiObfuscator, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("obfuscator: no plans")
+	}
+	m := &MultiObfuscator{}
+	for i, p := range plans {
+		if p.Mechanism == nil {
+			return nil, fmt.Errorf("plan %d: %w", i, ErrNoMechanism)
+		}
+		if len(p.Segment) == 0 {
+			return nil, fmt.Errorf("plan %d: %w", i, ErrNoSegment)
+		}
+		if p.Event == nil {
+			return nil, fmt.Errorf("plan %d: %w", i, ErrNoRefEvent)
+		}
+		if p.ClipBound <= 0 {
+			p.ClipBound = 20000
+		}
+		per, err := calibrateSegment(p.Segment, p.Event)
+		if err != nil {
+			return nil, fmt.Errorf("plan %d: %w", i, err)
+		}
+		m.plans = append(m.plans, planState{plan: p, perExec: per})
+	}
+	return m, nil
+}
+
+// Name implements sev.Process.
+func (m *MultiObfuscator) Name() string { return "aegis-obfuscator-multi" }
+
+// InjectedReps returns the total segment executions across plans.
+func (m *MultiObfuscator) InjectedReps() int64 { return m.injectedReps }
+
+// InjectedCounts returns the injected counts of plan i in its own event's
+// units.
+func (m *MultiObfuscator) InjectedCounts(i int) (float64, error) {
+	if i < 0 || i >= len(m.plans) {
+		return 0, fmt.Errorf("obfuscator: plan %d out of range", i)
+	}
+	return m.plans[i].injectedCounts, nil
+}
+
+// Plans returns the number of protected events.
+func (m *MultiObfuscator) Plans() int { return len(m.plans) }
+
+// Step implements sev.Process.
+func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
+	m.ticks++
+	t := g.Tick()
+	for i := range m.plans {
+		ps := &m.plans[i]
+		if !ps.kmod.attached {
+			if err := ps.kmod.attach(g.Core(), ps.plan.Event); err != nil {
+				continue
+			}
+		}
+		var x float64
+		if ps.plan.Mechanism.NeedsObservation() {
+			v, err := ps.kmod.readAndReset()
+			if err != nil {
+				continue
+			}
+			x = v
+		}
+		noise := ps.plan.Mechanism.Noise(t, x)
+		if noise < 0 {
+			noise = 0
+		}
+		if noise > ps.plan.ClipBound {
+			noise = ps.plan.ClipBound
+		}
+		reps := int(noise/ps.perExec + 0.5)
+		injected := 0
+		for r := 0; r < reps; r++ {
+			n, err := g.ExecuteSeq(ps.plan.Segment)
+			if err != nil || n < len(ps.plan.Segment) {
+				if n > 0 {
+					injected++
+				}
+				break
+			}
+			injected++
+		}
+		applied := float64(injected) * ps.perExec
+		ps.injectedCounts += applied
+		m.injectedReps += int64(injected)
+		if d, ok := ps.plan.Mechanism.(*DStarMechanism); ok {
+			d.Commit(t, applied)
+		}
+		if g.Remaining() == 0 {
+			return
+		}
+	}
+}
+
+// SecretDependentMechanism wraps a base mechanism with a constant,
+// secret-derived offset. Paper §IX-B: an attacker who collects many traces
+// of the same secret could average the DP noise away; attaching a constant
+// secret-dependent noise term defeats that, because the residual after
+// averaging still depends on a value the attacker does not know.
+type SecretDependentMechanism struct {
+	Base Mechanism
+	// Offset is the constant per-tick addend, derived inside the VM from
+	// the secret (the hypervisor never sees it).
+	Offset float64
+}
+
+// NewSecretDependentMechanism derives the constant offset from a secret
+// key (e.g. a hash of the secret value) scaled into [0, amplitude].
+func NewSecretDependentMechanism(base Mechanism, secretKey uint64, amplitude float64) (*SecretDependentMechanism, error) {
+	if base == nil {
+		return nil, ErrNoMechanism
+	}
+	if amplitude <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBound, amplitude)
+	}
+	frac := float64(secretKey%4096) / 4096
+	return &SecretDependentMechanism{Base: base, Offset: frac * amplitude}, nil
+}
+
+// Name implements Mechanism.
+func (m *SecretDependentMechanism) Name() string {
+	return m.Base.Name() + "+secret-offset"
+}
+
+// NeedsObservation implements Mechanism.
+func (m *SecretDependentMechanism) NeedsObservation() bool {
+	return m.Base.NeedsObservation()
+}
+
+// Noise implements Mechanism.
+func (m *SecretDependentMechanism) Noise(t int64, x float64) float64 {
+	return m.Offset + m.Base.Noise(t, x)
+}

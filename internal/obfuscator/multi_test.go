@@ -1,0 +1,134 @@
+package obfuscator
+
+import (
+	"testing"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	seg, ref := coverSegment(t)
+	lap, err := NewLaplaceMechanism(1, 100, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMulti(nil); err == nil {
+		t.Error("empty plans accepted")
+	}
+	if _, err := NewMulti([]Plan{{Segment: seg, Event: ref}}); err == nil {
+		t.Error("nil mechanism accepted")
+	}
+	if _, err := NewMulti([]Plan{{Mechanism: lap, Event: ref}}); err == nil {
+		t.Error("empty segment accepted")
+	}
+	if _, err := NewMulti([]Plan{{Mechanism: lap, Segment: seg}}); err == nil {
+		t.Error("nil event accepted")
+	}
+}
+
+func TestMultiObfuscatorProtectsTwoEvents(t *testing.T) {
+	seg, _ := coverSegment(t)
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	mkDStar := func(seed uint64) Mechanism {
+		m, err := NewDStarMechanism(1, 300, rng.New(seed).Split("dstar"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	multi, err := NewMulti([]Plan{
+		{Mechanism: mkDStar(1), Segment: seg, Event: cat.MustByName("RETIRED_UOPS"), ClipBound: 5000},
+		{Mechanism: mkDStar(2), Segment: seg, Event: cat.MustByName("LS_DISPATCH"), ClipBound: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Plans() != 2 {
+		t.Fatalf("plans = %d", multi.Plans())
+	}
+
+	w := sev.NewWorld(sev.DefaultConfig(30))
+	vm, err := w.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AddProcess(0, multi); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(80)
+
+	if multi.InjectedReps() == 0 {
+		t.Fatal("no injection over 80 ticks")
+	}
+	for i := 0; i < 2; i++ {
+		counts, err := multi.InjectedCounts(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts <= 0 {
+			t.Errorf("plan %d injected no counts", i)
+		}
+	}
+	if _, err := multi.InjectedCounts(5); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+}
+
+func TestSecretDependentMechanism(t *testing.T) {
+	base, err := NewLaplaceMechanism(1, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSecretDependentMechanism(nil, 1, 100); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewSecretDependentMechanism(base, 1, 0); err == nil {
+		t.Error("zero amplitude accepted")
+	}
+	m, err := NewSecretDependentMechanism(base, rng.HashString("secret-a"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offset < 0 || m.Offset > 1000 {
+		t.Fatalf("offset = %v out of [0, 1000]", m.Offset)
+	}
+	// Two different secrets derive different offsets (overwhelmingly).
+	m2, err := NewSecretDependentMechanism(base, rng.HashString("secret-b"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offset == m2.Offset {
+		t.Error("distinct secrets derived identical offsets")
+	}
+	if m.Name() != "laplace+secret-offset" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestSecretOffsetSurvivesAveraging(t *testing.T) {
+	// §IX-B: averaging n noisy samples converges to the mean, which for
+	// the secret-dependent mechanism retains the secret offset.
+	base, err := NewLaplaceMechanism(1, 50, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSecretDependentMechanism(base, rng.HashString("youtube.com"), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Noise(int64(i), 0)
+	}
+	mean := sum / n
+	// Laplace base has mean 0, so the average converges to the offset.
+	if diff := mean - m.Offset; diff < -5 || diff > 5 {
+		t.Errorf("averaged noise %v does not converge to offset %v", mean, m.Offset)
+	}
+	if m.Offset < 100 {
+		t.Skip("offset too small for a meaningful persistence check")
+	}
+}

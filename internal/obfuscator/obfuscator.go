@@ -1,0 +1,230 @@
+package obfuscator
+
+import (
+	"fmt"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+)
+
+// Config configures the in-VM obfuscator service.
+type Config struct {
+	// Mechanism generates the per-tick noise target (event counts).
+	Mechanism Mechanism
+	// Segment is the stacked gadget code segment from the fuzzer's
+	// minimal cover; it is executed repeatedly to inject noise.
+	Segment []isa.Variant
+	// RefEvent calibrates counts→repetitions and is the event the kernel
+	// module monitors for observation-based mechanisms.
+	RefEvent *hpc.Event
+	// ClipBound is the B_u upper clip of the per-tick injected counts;
+	// noise is truncated to [0, ClipBound] because the number of injected
+	// gadgets cannot be negative (paper §VIII-C, e.g. 2e4 for
+	// RETIRED_UOPS).
+	ClipBound float64
+	// MaxRepsPerTick caps segment executions per tick so injection cannot
+	// starve the protected application outright; 0 means no cap beyond
+	// the vCPU budget.
+	MaxRepsPerTick int
+	// Seed drives the noise sampling.
+	Seed uint64
+}
+
+// Errors returned by the obfuscator.
+var (
+	ErrNoMechanism = fmt.Errorf("obfuscator: nil mechanism")
+	ErrNoSegment   = fmt.Errorf("obfuscator: empty gadget segment")
+	ErrNoRefEvent  = fmt.Errorf("obfuscator: nil reference event")
+)
+
+// kernelModule is the in-guest controller: it monitors real-time HPC
+// values with RDPMC for observation-based mechanisms and forwards them to
+// the userspace daemon (the netlink socket of the paper collapses to a
+// struct field here).
+type kernelModule struct {
+	pmu      *hpc.PMU
+	attached bool
+}
+
+func (k *kernelModule) attach(core *microarch.Core, ev *hpc.Event) error {
+	k.pmu = hpc.NewPMU(core, nil) // in-guest reads are taken as ground truth
+	if err := k.pmu.Program(hpc.NumCounterRegisters-1, ev); err != nil {
+		return err
+	}
+	k.attached = true
+	return nil
+}
+
+// readAndReset returns the reference event's count since the last tick.
+func (k *kernelModule) readAndReset() (float64, error) {
+	v, err := k.pmu.RDPMC(hpc.NumCounterRegisters - 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := k.pmu.Reset(hpc.NumCounterRegisters - 1); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Obfuscator is the sev.Process deployed inside the victim VM. It is
+// scheduled on the same vCPU as the protected application (paper §VII-C)
+// so the hypervisor cannot separate the two.
+type Obfuscator struct {
+	cfg Config
+
+	kmod    kernelModule
+	noise   *rng.Source
+	perExec float64 // reference-event counts per segment execution
+
+	// Telemetry.
+	injectedCounts float64
+	injectedReps   int64
+	ticks          int64
+	saturatedTicks int64
+}
+
+var _ sev.Process = (*Obfuscator)(nil)
+
+// New builds an obfuscator. The counts→repetitions calibration executes
+// the segment on an offline scratch core (part of the one-time deployment
+// work, like the fuzzer's offline analysis).
+func New(cfg Config) (*Obfuscator, error) {
+	if cfg.Mechanism == nil {
+		return nil, ErrNoMechanism
+	}
+	if len(cfg.Segment) == 0 {
+		return nil, ErrNoSegment
+	}
+	if cfg.RefEvent == nil {
+		return nil, ErrNoRefEvent
+	}
+	if cfg.ClipBound <= 0 {
+		cfg.ClipBound = 20000
+	}
+	o := &Obfuscator{
+		cfg:   cfg,
+		noise: rng.New(cfg.Seed).Split("obfuscator"),
+	}
+	per, err := calibrateSegment(cfg.Segment, cfg.RefEvent)
+	if err != nil {
+		return nil, err
+	}
+	o.perExec = per
+	return o, nil
+}
+
+// calibrateSegment measures the reference event's count change of one
+// steady-state segment execution.
+func calibrateSegment(seg []isa.Variant, ev *hpc.Event) (float64, error) {
+	coreCfg := microarch.DefaultCoreConfig()
+	coreCfg.InterruptRate = 0
+	core := microarch.NewCore(0, coreCfg, nil)
+	ctx := microarch.NewScratchContext(0x2000_0000)
+	// Warm once, then measure the steady state over several executions.
+	if err := core.ExecuteSequence(seg, ctx); err != nil {
+		return 0, fmt.Errorf("calibrate segment: %w", err)
+	}
+	const reps = 8
+	before := core.Counters()
+	for i := 0; i < reps; i++ {
+		if err := core.ExecuteSequence(seg, ctx); err != nil {
+			return 0, fmt.Errorf("calibrate segment: %w", err)
+		}
+	}
+	delta := ev.Value(core.Counters().Sub(before).Vector()) / reps
+	if delta <= 0 {
+		// The segment never perturbs the reference event; fall back to
+		// µop-weight so injection still paces sensibly.
+		delta = float64(len(seg))
+	}
+	return delta, nil
+}
+
+// Name implements sev.Process.
+func (o *Obfuscator) Name() string { return "aegis-obfuscator" }
+
+// PerExecDelta returns the calibrated reference-event counts per segment
+// execution.
+func (o *Obfuscator) PerExecDelta() float64 { return o.perExec }
+
+// InjectedCounts returns the cumulative injected noise in reference-event
+// counts (the quantity compared across defenses in paper §IX-A).
+func (o *Obfuscator) InjectedCounts() float64 { return o.injectedCounts }
+
+// InjectedReps returns the cumulative segment executions.
+func (o *Obfuscator) InjectedReps() int64 { return o.injectedReps }
+
+// SaturationRate returns the fraction of ticks where the vCPU budget or
+// rep cap truncated the requested injection.
+func (o *Obfuscator) SaturationRate() float64 {
+	if o.ticks == 0 {
+		return 0
+	}
+	return float64(o.saturatedTicks) / float64(o.ticks)
+}
+
+// Step implements sev.Process: one tick of the kernel-module/daemon loop.
+func (o *Obfuscator) Step(g *sev.GuestExecutor) {
+	o.ticks++
+	t := g.Tick()
+
+	// Kernel module: lazily attach to this vCPU's core, then read the
+	// real-time HPC value when the mechanism needs it.
+	if !o.kmod.attached {
+		if err := o.kmod.attach(g.Core(), o.cfg.RefEvent); err != nil {
+			return
+		}
+	}
+	var x float64
+	if o.cfg.Mechanism.NeedsObservation() {
+		v, err := o.kmod.readAndReset()
+		if err != nil {
+			return
+		}
+		x = v
+	}
+
+	// Daemon: noise calculation with clipping to [0, B_u].
+	noise := o.cfg.Mechanism.Noise(t, x)
+	if noise < 0 {
+		noise = 0
+	}
+	if noise > o.cfg.ClipBound {
+		noise = o.cfg.ClipBound
+	}
+
+	// Daemon: injection — repeat the stacked gadget segment.
+	reps := int(noise/o.perExec + 0.5)
+	if o.cfg.MaxRepsPerTick > 0 && reps > o.cfg.MaxRepsPerTick {
+		reps = o.cfg.MaxRepsPerTick
+		o.saturatedTicks++
+	}
+	injectedReps := 0
+	for i := 0; i < reps; i++ {
+		n, err := g.ExecuteSeq(o.cfg.Segment)
+		if err != nil {
+			break
+		}
+		if n < len(o.cfg.Segment) {
+			// vCPU tick budget exhausted mid-segment.
+			o.saturatedTicks++
+			if n > 0 {
+				injectedReps++ // partial execution still perturbs
+			}
+			break
+		}
+		injectedReps++
+	}
+	applied := float64(injectedReps) * o.perExec
+	o.injectedCounts += applied
+	o.injectedReps += int64(injectedReps)
+
+	// Observation-based mechanisms track what was actually injected.
+	if d, ok := o.cfg.Mechanism.(*DStarMechanism); ok {
+		d.Commit(t, applied)
+	}
+}

@@ -1,0 +1,444 @@
+// Package profiler implements Aegis's Application Profiler (paper §V): the
+// offline module that, given a protected application and its secrets,
+// identifies which HPC events of the processor can act as side channels
+// and ranks them by vulnerability.
+//
+// The profiler launches a template VM on a template server whose processor
+// model matches the attested cloud server, runs the application per secret
+// while monitoring HPC events, and proceeds in two stages:
+//
+//  1. Warm-up profiling: events whose counts do not differ between an idle
+//     VM and the running application are removed — they cannot reflect the
+//     application's behaviour. This shrinks thousands of events to ~10%.
+//  2. Event ranking: per surviving event, leakage traces are reduced to a
+//     scalar feature with PCA, modelled as per-secret Gaussians, and scored
+//     by the mutual information between secret and feature (paper Eq. 1).
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/stats"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// Errors returned by the profiler.
+var (
+	ErrNoSecrets = errors.New("profiler: application has no secrets")
+	ErrNoEvents  = errors.New("profiler: no events to rank")
+)
+
+// Config tunes the profiling runs.
+type Config struct {
+	// WarmupTicks is the monitoring window of each warm-up measurement
+	// (the paper monitors each event for 1 second).
+	WarmupTicks int
+	// WarmupRepeats is how often the idle/active comparison is repeated;
+	// an event is kept if it differs in any repeat (paper: 5 repeats with
+	// near-identical results).
+	WarmupRepeats int
+	// WarmupThreshold is the minimum relative count change (with a small
+	// absolute floor) for an event to be considered "changed".
+	WarmupThreshold float64
+	// RankRepeats is the number of measurements per secret (paper: 100,
+	// reducible to 10 for rough analysis).
+	RankRepeats int
+	// TraceTicks is the leakage-trace length used for ranking.
+	TraceTicks int
+	// QuadratureSteps controls the MI integration grid.
+	QuadratureSteps int
+	// RawMeanFeature replaces the PCA feature with the plain per-trace
+	// sum. Only the PCA ablation uses this; the paper's design extracts
+	// the feature with PCA (§V-B).
+	RawMeanFeature bool
+	// Seed drives all stochastic behaviour.
+	Seed uint64
+	// World configures the template server; zero value uses the AMD
+	// default testbed.
+	World sev.Config
+}
+
+// DefaultConfig returns evaluation-scale defaults (scaled down ~10x from
+// the paper's wall-clock settings; the simulator tick models 1 ms).
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		WarmupTicks:     100,
+		WarmupRepeats:   5,
+		WarmupThreshold: 0.05,
+		RankRepeats:     10,
+		TraceTicks:      150,
+		QuadratureSteps: 600,
+		Seed:            seed,
+		World:           sev.DefaultConfig(seed),
+	}
+}
+
+// Profiler profiles applications against a processor's event catalog.
+type Profiler struct {
+	catalog *hpc.Catalog
+	cfg     Config
+	lib     *workload.Library
+	root    *rng.Source
+}
+
+// New builds a profiler for the catalog.
+func New(catalog *hpc.Catalog, cfg Config) *Profiler {
+	if cfg.WarmupTicks <= 0 {
+		cfg.WarmupTicks = 100
+	}
+	if cfg.WarmupRepeats <= 0 {
+		cfg.WarmupRepeats = 5
+	}
+	if cfg.WarmupThreshold <= 0 {
+		cfg.WarmupThreshold = 0.05
+	}
+	if cfg.RankRepeats <= 0 {
+		cfg.RankRepeats = 10
+	}
+	if cfg.TraceTicks <= 0 {
+		cfg.TraceTicks = 150
+	}
+	if cfg.QuadratureSteps <= 0 {
+		cfg.QuadratureSteps = 600
+	}
+	if cfg.World.PhysicalCores == 0 {
+		cfg.World = sev.DefaultConfig(cfg.Seed)
+	}
+	return &Profiler{
+		catalog: catalog,
+		cfg:     cfg,
+		lib:     workload.DefaultLibrary(cfg.Seed),
+		root:    rng.New(cfg.Seed).Split("profiler"),
+	}
+}
+
+// rawTrace collects per-tick raw signal deltas from the core backing the
+// template VM's vCPU while the app runs the given jobs. Evaluating every
+// event formula on the same raw trace is equivalent to the paper's scheme
+// of repeating identical runs for each 4-event register group.
+func (p *Profiler) rawTrace(app workload.App, secret string, ticks int, stream *rng.Source, idle bool) ([][]float64, error) {
+	world := sev.NewWorld(p.cfg.World)
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		return nil, fmt.Errorf("launch template VM: %w", err)
+	}
+	runner := workload.NewRunner(app.Name(), p.lib, stream.Split("runner"))
+	if err := vm.AddProcess(0, runner); err != nil {
+		return nil, err
+	}
+	if !idle {
+		job, err := app.Job(secret, stream.Split("job"))
+		if err != nil {
+			return nil, err
+		}
+		runner.Enqueue(job)
+	}
+	coreIdx, err := vm.PhysicalCore(0)
+	if err != nil {
+		return nil, err
+	}
+	core, err := world.Core(coreIdx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, 0, ticks)
+	prev := core.Counters()
+	for i := 0; i < ticks; i++ {
+		world.Step()
+		now := core.Counters()
+		out = append(out, now.Sub(prev).Vector())
+		prev = now
+	}
+	return out, nil
+}
+
+// sumVec sums raw per-tick vectors into one delta vector.
+func sumVec(trace [][]float64) []float64 {
+	if len(trace) == 0 {
+		return nil
+	}
+	out := make([]float64, len(trace[0]))
+	for _, row := range trace {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// WarmupResult reports the outcome of warm-up profiling.
+type WarmupResult struct {
+	// Remaining are the events that responded to the application.
+	Remaining []*hpc.Event
+	// TotalEvents is the catalog size M.
+	TotalEvents int
+	// RemainingPerType counts survivors per event type (paper Table II
+	// bracket percentages).
+	RemainingPerType map[hpc.EventType]int
+}
+
+// RemainingFraction returns N/M.
+func (w WarmupResult) RemainingFraction() float64 {
+	if w.TotalEvents == 0 {
+		return 0
+	}
+	return float64(len(w.Remaining)) / float64(w.TotalEvents)
+}
+
+// Warmup performs the warm-up profiling of paper §V-B: measure every event
+// with the VM idle and with the application running (under a representative
+// secret), repeated WarmupRepeats times; keep events whose counts change.
+func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
+	secrets := app.Secrets()
+	if len(secrets) == 0 {
+		return nil, ErrNoSecrets
+	}
+	res := &WarmupResult{
+		TotalEvents:      p.catalog.Size(),
+		RemainingPerType: make(map[hpc.EventType]int),
+	}
+	changed := make([]bool, p.catalog.Size())
+	for rep := 0; rep < p.cfg.WarmupRepeats; rep++ {
+		stream := p.root.SplitN("warmup", rep)
+		secret := secrets[rep%len(secrets)]
+		idleTrace, err := p.rawTrace(app, secret, p.cfg.WarmupTicks, stream.Split("idle"), true)
+		if err != nil {
+			return nil, err
+		}
+		activeTrace, err := p.rawTrace(app, secret, p.cfg.WarmupTicks, stream.Split("active"), false)
+		if err != nil {
+			return nil, err
+		}
+		idleSum := sumVec(idleTrace)
+		activeSum := sumVec(activeTrace)
+		for i, e := range p.catalog.Events {
+			if changed[i] {
+				continue
+			}
+			// Host-only events read host-side constructs; from the guest
+			// workload's perspective they are flat. GuestVisible events
+			// are evaluated on the measured raw deltas.
+			iv := e.Value(idleSum)
+			av := e.Value(activeSum)
+			diff := math.Abs(av - iv)
+			floor := 5.0
+			if diff > floor && diff > p.cfg.WarmupThreshold*(iv+1) {
+				changed[i] = true
+			}
+		}
+	}
+	for i, e := range p.catalog.Events {
+		if changed[i] {
+			res.Remaining = append(res.Remaining, e)
+			res.RemainingPerType[e.Type]++
+		}
+	}
+	return res, nil
+}
+
+// RankedEvent is one event with its vulnerability score.
+type RankedEvent struct {
+	Event *hpc.Event
+	// MI is the mutual information I(Y;X) in bits.
+	MI float64
+	// Classes holds the fitted per-secret Gaussians of the PCA feature.
+	Classes []stats.ClassModel
+}
+
+// Rank scores each event's vulnerability for the application and returns
+// the events sorted by descending mutual information (paper §V-B "Event
+// ranking").
+func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, error) {
+	secrets := app.Secrets()
+	if len(secrets) == 0 {
+		return nil, ErrNoSecrets
+	}
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+
+	// Collect raw traces once per (secret, repeat); every event formula is
+	// evaluated on the same traces.
+	type rawSet struct {
+		secret string
+		traces [][][]float64 // repeat -> tick -> signals
+	}
+	raws := make([]rawSet, len(secrets))
+	for si, secret := range secrets {
+		raws[si].secret = secret
+		for rep := 0; rep < p.cfg.RankRepeats; rep++ {
+			stream := p.root.SplitN("rank/"+secret, rep)
+			tr, err := p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
+			if err != nil {
+				return nil, err
+			}
+			raws[si].traces = append(raws[si].traces, tr)
+		}
+	}
+
+	ranked := make([]RankedEvent, 0, len(events))
+	for _, e := range events {
+		// Build per-trace event time series.
+		all := make([][]float64, 0, len(secrets)*p.cfg.RankRepeats)
+		bySecret := make([][][]float64, len(secrets))
+		for si := range raws {
+			for _, raw := range raws[si].traces {
+				series := make([]float64, len(raw))
+				for t, sig := range raw {
+					series[t] = e.Value(sig)
+				}
+				all = append(all, series)
+				bySecret[si] = append(bySecret[si], series)
+			}
+		}
+		// Feature extraction over the full trace population: the paper's
+		// PCA first component, or the raw sum for the ablation.
+		var pca *stats.PCA
+		if !p.cfg.RawMeanFeature {
+			var err error
+			pca, err = stats.FitPCA(all, 1)
+			if err != nil {
+				continue // degenerate event; cannot be ranked
+			}
+		}
+		classes := make([]stats.ClassModel, 0, len(secrets))
+		usable := true
+		for si := range raws {
+			feats := make([]float64, 0, len(bySecret[si]))
+			for _, series := range bySecret[si] {
+				var f float64
+				if pca != nil {
+					var err error
+					f, err = pca.FirstComponent(series)
+					if err != nil {
+						usable = false
+						break
+					}
+				} else {
+					for _, v := range series {
+						f += v
+					}
+				}
+				feats = append(feats, f)
+			}
+			if !usable {
+				break
+			}
+			g, err := stats.FitGaussian(feats)
+			if err != nil {
+				usable = false
+				break
+			}
+			classes = append(classes, stats.ClassModel{Secret: raws[si].secret, Dist: g})
+		}
+		if !usable {
+			continue
+		}
+		mi, err := stats.MutualInformation(classes, p.cfg.QuadratureSteps)
+		if err != nil {
+			continue
+		}
+		ranked = append(ranked, RankedEvent{Event: e, MI: mi, Classes: classes})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].MI > ranked[j].MI })
+	return ranked, nil
+}
+
+// Result is the complete profiling outcome.
+type Result struct {
+	Warmup *WarmupResult
+	Ranked []RankedEvent
+}
+
+// TopEvents returns the n most vulnerable events.
+func (r *Result) TopEvents(n int) []*hpc.Event {
+	if n > len(r.Ranked) {
+		n = len(r.Ranked)
+	}
+	out := make([]*hpc.Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Ranked[i].Event
+	}
+	return out
+}
+
+// Profile runs warm-up profiling followed by ranking.
+func (p *Profiler) Profile(app workload.App) (*Result, error) {
+	warm, err := p.Warmup(app)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := p.Rank(app, warm.Remaining)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Warmup: warm, Ranked: ranked}, nil
+}
+
+// EventDistribution collects the Fig. 3 artefacts for one event and secret:
+// the distribution of per-trace summed counts, its Gaussian fit, Q-Q
+// correlation against the standard normal and the KS statistic.
+type EventDistribution struct {
+	Event     string
+	Secret    string
+	Samples   []float64
+	Fit       stats.Gaussian
+	QQCorr    float64
+	KS        float64
+	Histogram stats.Histogram
+}
+
+// DistributionFor measures the event's per-trace totals over repeats of the
+// secret and fits the Gaussian model (paper Fig. 3 evidence that event
+// values are normally distributed).
+func (p *Profiler) DistributionFor(app workload.App, secret string, event *hpc.Event, repeats int) (*EventDistribution, error) {
+	if repeats <= 0 {
+		repeats = p.cfg.RankRepeats
+	}
+	samples := make([]float64, 0, repeats)
+	for rep := 0; rep < repeats; rep++ {
+		stream := p.root.SplitN("dist/"+secret, rep)
+		raw, err := p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, event.Value(sumVec(raw)))
+	}
+	fit, err := stats.FitGaussian(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &EventDistribution{
+		Event:     event.Name,
+		Secret:    secret,
+		Samples:   samples,
+		Fit:       fit,
+		QQCorr:    stats.QQCorrelation(stats.QQNormal(samples)),
+		KS:        stats.KSNormal(samples),
+		Histogram: stats.NewHistogram(samples, 16),
+	}, nil
+}
+
+// Wall-clock cost model of paper §VIII-A, used to reproduce the quoted
+// profiling times: T_W = (M × t_w × 2) / C and T_P = (N × S × R × t_p) / C.
+
+// EstimateWarmupHours returns the warm-up profiling time for M events
+// monitored t_w seconds each (twice: idle and active) over C registers.
+func EstimateWarmupHours(mEvents, cRegisters int, twSeconds float64) float64 {
+	return float64(mEvents) * twSeconds * 2 / float64(cRegisters) / 3600
+}
+
+// EstimateRankingHours returns the ranking time for N events, S secrets,
+// R repeats, t_p seconds per measurement over C registers.
+func EstimateRankingHours(nEvents, sSecrets, repeats, cRegisters int, tpSeconds float64) float64 {
+	return float64(nEvents) * float64(sSecrets) * float64(repeats) * tpSeconds / float64(cRegisters) / 3600
+}
+
+var _ = microarch.NumSignals // raw traces use microarch's signal order

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PCA holds a fitted principal component analysis: the data mean and the
+// top-k principal directions of the training matrix.
+type PCA struct {
+	Mean       []float64
+	Components [][]float64 // k rows, each a unit vector of length d
+	Variances  []float64   // eigenvalue (explained variance) per component
+}
+
+// FitPCA fits a PCA with k components to rows (n samples × d features)
+// using covariance eigendecomposition via orthogonal power iteration with
+// deflation. The paper uses PCA to reduce each leakage time-series to a
+// compact feature value before Gaussian modelling (paper §V-B).
+func FitPCA(rows [][]float64, k int) (*PCA, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, ErrInsufficientData
+	}
+	d := len(rows[0])
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(r), d)
+		}
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d)
+	}
+
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	centered := make([][]float64, n)
+	for i, r := range rows {
+		c := make([]float64, d)
+		for j, v := range r {
+			c[j] = v - mean[j]
+		}
+		centered[i] = c
+	}
+
+	p := &PCA{
+		Mean:       mean,
+		Components: make([][]float64, 0, k),
+		Variances:  make([]float64, 0, k),
+	}
+
+	// Power iteration on the covariance operator. We never materialise the
+	// d×d covariance matrix: cov·v = (1/n) Σ_i (x_i·v) x_i, which keeps the
+	// cost at O(n·d) per iteration even for long traces.
+	for comp := 0; comp < k; comp++ {
+		v := make([]float64, d)
+		// Deterministic non-degenerate start vector.
+		for j := range v {
+			v[j] = 1 / math.Sqrt(float64(d))
+			if (j+comp)%2 == 1 {
+				v[j] = -v[j]
+			}
+		}
+		orthonormalize(v, p.Components)
+		var lambda float64
+		for iter := 0; iter < 200; iter++ {
+			w := covApply(centered, v)
+			orthonormalize(w, p.Components)
+			norm := vecNorm(w)
+			if norm < 1e-14 {
+				break // no variance left in the residual subspace
+			}
+			for j := range w {
+				w[j] /= norm
+			}
+			delta := 0.0
+			for j := range w {
+				delta += (w[j] - v[j]) * (w[j] - v[j])
+			}
+			copy(v, w)
+			lambda = norm
+			if delta < 1e-18 {
+				break
+			}
+		}
+		p.Components = append(p.Components, v)
+		p.Variances = append(p.Variances, lambda)
+	}
+	return p, nil
+}
+
+// Transform projects a sample onto the fitted components.
+func (p *PCA) Transform(row []float64) ([]float64, error) {
+	if len(row) != len(p.Mean) {
+		return nil, fmt.Errorf("stats: sample has %d features, PCA fitted on %d", len(row), len(p.Mean))
+	}
+	out := make([]float64, len(p.Components))
+	for c, comp := range p.Components {
+		var dot float64
+		for j, v := range row {
+			dot += (v - p.Mean[j]) * comp[j]
+		}
+		out[c] = dot
+	}
+	return out, nil
+}
+
+// FirstComponent projects a sample onto the leading principal direction and
+// returns the scalar feature value used for Gaussian modelling.
+func (p *PCA) FirstComponent(row []float64) (float64, error) {
+	t, err := p.Transform(row)
+	if err != nil {
+		return 0, err
+	}
+	return t[0], nil
+}
+
+func covApply(centered [][]float64, v []float64) []float64 {
+	d := len(v)
+	out := make([]float64, d)
+	for _, x := range centered {
+		var dot float64
+		for j := range v {
+			dot += x[j] * v[j]
+		}
+		for j := range x {
+			out[j] += dot * x[j]
+		}
+	}
+	n := float64(len(centered))
+	for j := range out {
+		out[j] /= n
+	}
+	return out
+}
+
+// orthonormalize removes the projections of v onto each basis vector
+// (Gram-Schmidt) in place.
+func orthonormalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		var dot float64
+		for j := range v {
+			dot += v[j] * b[j]
+		}
+		for j := range v {
+			v[j] -= dot * b[j]
+		}
+	}
+}
+
+func vecNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

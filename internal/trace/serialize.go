@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dataset serialization: leakage-trace corpora are expensive to collect
+// (the paper's profiling runs take tens of hours), so the harness can
+// persist them as JSON-lines files — a header record followed by one
+// record per trace — and reload them for later attack training or defense
+// evaluation.
+
+// datasetHeader is the first record of a serialised dataset.
+type datasetHeader struct {
+	Version    int      `json:"version"`
+	EventNames []string `json:"eventNames"`
+	Traces     int      `json:"traces"`
+}
+
+// traceRecord is one serialised trace.
+type traceRecord struct {
+	Label string      `json:"label"`
+	Data  [][]float64 `json:"data"`
+}
+
+// currentVersion is the serialisation format version.
+const currentVersion = 1
+
+// WriteTo serialises the dataset as JSON lines.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	enc := json.NewEncoder(bw)
+	header := datasetHeader{
+		Version:    currentVersion,
+		EventNames: d.EventNames,
+		Traces:     len(d.Traces),
+	}
+	if err := enc.Encode(header); err != nil {
+		return written, fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i, tr := range d.Traces {
+		if err := enc.Encode(traceRecord{Label: tr.Label, Data: tr.Data}); err != nil {
+			return written, fmt.Errorf("trace: encode trace %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadDataset parses a dataset serialised by WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header datasetHeader
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if header.Version != currentVersion {
+		return nil, fmt.Errorf("trace: unsupported dataset version %d", header.Version)
+	}
+	ds := &Dataset{EventNames: header.EventNames}
+	for i := 0; i < header.Traces; i++ {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("trace: decode trace %d: %w", i, err)
+		}
+		// Validate rectangular shape against the event channel count.
+		for t, row := range rec.Data {
+			if len(header.EventNames) > 0 && len(row) != len(header.EventNames) {
+				return nil, fmt.Errorf("trace: trace %d tick %d has %d channels, want %d",
+					i, t, len(row), len(header.EventNames))
+			}
+		}
+		ds.Add(Trace{Label: rec.Label, Data: rec.Data})
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path (truncating an existing file).
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(f)
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func roundTripDataset() *Dataset {
+	d := &Dataset{EventNames: []string{"A", "B"}}
+	d.Add(Trace{Label: "x", Data: [][]float64{{1, 2}, {3, 4}}})
+	d.Add(Trace{Label: "y", Data: [][]float64{{5, 6}}})
+	return d
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := roundTripDataset()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), d.Len())
+	}
+	if got.EventNames[1] != "B" {
+		t.Errorf("event names = %v", got.EventNames)
+	}
+	if got.Traces[0].Label != "x" || got.Traces[0].Data[1][1] != 4 {
+		t.Errorf("trace 0 = %+v", got.Traces[0])
+	}
+	if got.Traces[1].Data[0][0] != 5 {
+		t.Errorf("trace 1 = %+v", got.Traces[1])
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	d := roundTripDataset()
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadDataset(strings.NewReader(`{"version":99,"traces":0}` + "\n")); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// Header promises more traces than present.
+	if _, err := ReadDataset(strings.NewReader(`{"version":1,"eventNames":["A"],"traces":2}` + "\n" +
+		`{"label":"x","data":[[1]]}` + "\n")); err == nil {
+		t.Error("truncated dataset accepted")
+	}
+	// Channel count mismatch.
+	if _, err := ReadDataset(strings.NewReader(`{"version":1,"eventNames":["A","B"],"traces":1}` + "\n" +
+		`{"label":"x","data":[[1]]}` + "\n")); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
