@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race fmt-check check bench
+
+# Pre-PR gate: everything `make check` runs must pass before a PR ships
+# (see ROADMAP.md "Engineering gates").
+check: build vet fmt-check test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -33,6 +33,7 @@ package aegis
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/repro/aegis/internal/fuzzer"
 	"github.com/repro/aegis/internal/hpc"
@@ -41,7 +42,22 @@ import (
 	"github.com/repro/aegis/internal/profiler"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/telemetry"
 	"github.com/repro/aegis/internal/workload"
+)
+
+// Facade metrics: pipeline-stage counters plus the multi-event skip
+// signal of ProtectMulti.
+var (
+	mProfileRuns      = telemetry.C("aegis_profile_runs_total")
+	mFuzzRuns         = telemetry.C("aegis_fuzz_runs_total")
+	mProtectDeploys   = telemetry.C("aegis_protect_deploys_total")
+	mMultiDeploys     = telemetry.C("aegis_protect_multi_deploys_total")
+	mMultiSkipped     = telemetry.C("aegis_protect_multi_skipped_events_total")
+	gProfileRanked    = telemetry.G("aegis_profile_events_ranked")
+	gProfileRemaining = telemetry.G("aegis_profile_warmup_remaining")
+	gFuzzCoverSize    = telemetry.G("aegis_fuzz_cover_size")
+	gFuzzSegmentLen   = telemetry.G("aegis_fuzz_segment_len")
 )
 
 // Mechanism names accepted by NewDefense/Protect.
@@ -117,6 +133,13 @@ func New(cfg Config) (*Framework, error) {
 	} else {
 		clean = isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures())
 	}
+	telemetry.G("aegis_config_fuzz_candidates").Set(float64(cfg.FuzzCandidates))
+	telemetry.G("aegis_config_profile_trace_ticks").Set(float64(cfg.ProfileTraceTicks))
+	telemetry.G("aegis_config_profile_repeats").Set(float64(cfg.ProfileRepeats))
+	telemetry.G("aegis_config_clip_bound").Set(cfg.ClipBound)
+	telemetry.G("aegis_config_sensitivity").Set(cfg.Sensitivity)
+	telemetry.G("aegis_catalog_events").Set(float64(catalog.Size()))
+	telemetry.G("aegis_legal_instructions").Set(float64(len(clean.Legal)))
 	return &Framework{cfg: cfg, catalog: catalog, legal: clean.Legal}, nil
 }
 
@@ -137,8 +160,12 @@ type Profile struct {
 	Ranked []profiler.RankedEvent
 }
 
-// Top returns the names of the n most vulnerable events.
+// Top returns the names of the n most vulnerable events; n is clamped to
+// [0, len(Ranked)].
 func (p *Profile) Top(n int) []string {
+	if n < 0 {
+		n = 0
+	}
 	if n > len(p.Ranked) {
 		n = len(p.Ranked)
 	}
@@ -151,6 +178,9 @@ func (p *Profile) Top(n int) []string {
 
 // Profile runs warm-up profiling and event ranking for the application.
 func (f *Framework) Profile(app workload.App) (*Profile, error) {
+	span := telemetry.StartSpan("aegis.profile")
+	defer span.End()
+	mProfileRuns.Inc()
 	pcfg := profiler.DefaultConfig(f.cfg.Seed)
 	pcfg.TraceTicks = f.cfg.ProfileTraceTicks
 	pcfg.RankRepeats = f.cfg.ProfileRepeats
@@ -159,6 +189,8 @@ func (f *Framework) Profile(app workload.App) (*Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", app.Name(), err)
 	}
+	gProfileRemaining.Set(float64(len(res.Warmup.Remaining)))
+	gProfileRanked.Set(float64(len(res.Ranked)))
 	return &Profile{
 		TotalEvents:     res.Warmup.TotalEvents,
 		WarmupRemaining: len(res.Warmup.Remaining),
@@ -191,6 +223,9 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	if len(eventNames) == 0 {
 		return nil, fuzzer.ErrNoTargetEvents
 	}
+	span := telemetry.StartSpan("aegis.fuzz")
+	defer span.End()
+	mFuzzRuns.Inc()
 	events := make([]*hpc.Event, 0, len(eventNames))
 	for _, n := range eventNames {
 		e, ok := f.catalog.ByName(n)
@@ -217,6 +252,8 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	if len(segment) == 0 {
 		return nil, ErrNoGadgets
 	}
+	gFuzzCoverSize.Set(float64(len(cover)))
+	gFuzzSegmentLen.Set(float64(len(segment)))
 	ref := events[0]
 	perEvent := make(map[string][]isa.Variant, len(eventNames))
 	for name, best := range res.Best {
@@ -280,19 +317,42 @@ func (f *Framework) NewDefense(gs *GadgetSet, mechanism string, param float64) (
 	}, nil
 }
 
+// MultiResult is the outcome of a multi-event deployment: the deployed
+// obfuscator plus the events that could not be protected.
+type MultiResult struct {
+	// Multi is the deployed multi-event obfuscator.
+	Multi *obfuscator.MultiObfuscator
+	// ProtectedEvents are the events that received their own d* plan.
+	ProtectedEvents []string
+	// SkippedEvents are the requested events with no confirmed gadget;
+	// they remain UNPROTECTED and callers should surface them.
+	SkippedEvents []string
+}
+
 // ProtectMulti deploys the multi-event reinforcement the paper recommends
 // the d* mechanism for (§VII-B): each protected event gets its own d*
 // recursion and its own strongest gadget sequence, all pinned to the
-// application's vCPU.
-func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon float64) (*obfuscator.MultiObfuscator, error) {
+// application's vCPU. Events for which fuzzing confirmed no gadget are
+// reported in the result's SkippedEvents (and counted in telemetry); if
+// every requested event would be skipped, ProtectMulti fails instead of
+// silently deploying nothing.
+func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon float64) (*MultiResult, error) {
 	if gs == nil || len(gs.perEventBest) == 0 {
 		return nil, ErrNoGadgets
 	}
+	span := telemetry.StartSpan("aegis.protect_multi")
+	defer span.End()
 	plans := make([]obfuscator.Plan, 0, len(gs.Events))
+	result := &MultiResult{}
 	for i, name := range gs.Events {
 		seg, ok := gs.perEventBest[name]
 		if !ok {
-			continue // no confirmed gadget for this event
+			// No confirmed gadget for this event: it stays unprotected.
+			mMultiSkipped.Inc()
+			telemetry.Log().Warn("protect-multi: event skipped, no confirmed gadget",
+				telemetry.F("event", name))
+			result.SkippedEvents = append(result.SkippedEvents, name)
+			continue
 		}
 		ev, ok := f.catalog.ByName(name)
 		if !ok {
@@ -309,9 +369,11 @@ func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon fl
 			Event:     ev,
 			ClipBound: f.cfg.ClipBound,
 		})
+		result.ProtectedEvents = append(result.ProtectedEvents, name)
 	}
 	if len(plans) == 0 {
-		return nil, ErrNoGadgets
+		return nil, fmt.Errorf("%w: no confirmed gadget for any requested event (skipped: %s)",
+			ErrNoGadgets, strings.Join(result.SkippedEvents, ", "))
 	}
 	multi, err := obfuscator.NewMulti(plans)
 	if err != nil {
@@ -320,13 +382,17 @@ func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon fl
 	if err := vm.AddProcess(vcpu, multi); err != nil {
 		return nil, err
 	}
-	return multi, nil
+	mMultiDeploys.Inc()
+	result.Multi = multi
+	return result, nil
 }
 
 // Protect deploys an obfuscator into the VM, pinned to the given vCPU —
 // the same vCPU the protected application runs on, so the hypervisor
 // cannot schedule them apart (§VII-C).
 func (f *Framework) Protect(vm *sev.VM, vcpu int, gs *GadgetSet, mechanism string, param float64) (*obfuscator.Obfuscator, error) {
+	span := telemetry.StartSpan("aegis.protect")
+	defer span.End()
 	factory, err := f.NewDefense(gs, mechanism, param)
 	if err != nil {
 		return nil, err
@@ -338,5 +404,6 @@ func (f *Framework) Protect(vm *sev.VM, vcpu int, gs *GadgetSet, mechanism strin
 	if err := vm.AddProcess(vcpu, obf); err != nil {
 		return nil, err
 	}
+	mProtectDeploys.Inc()
 	return obf, nil
 }

@@ -2,8 +2,10 @@ package aegis
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
+	"github.com/repro/aegis/internal/profiler"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/workload"
 )
@@ -96,6 +98,29 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 }
 
+func TestProfileTopClamps(t *testing.T) {
+	p := &Profile{Ranked: []profiler.RankedEvent{}}
+	if got := p.Top(0); len(got) != 0 {
+		t.Errorf("Top(0) on empty profile = %v", got)
+	}
+	// Synthesize a small ranking via a real framework catalog so the
+	// events carry names.
+	fw := smallFramework(t)
+	ev1, _ := fw.Catalog().ByName("RETIRED_UOPS")
+	ev2, _ := fw.Catalog().ByName("LS_DISPATCH")
+	p = &Profile{Ranked: []profiler.RankedEvent{{Event: ev1, MI: 2}, {Event: ev2, MI: 1}}}
+	if got := p.Top(0); len(got) != 0 {
+		t.Errorf("Top(0) = %v, want empty", got)
+	}
+	if got := p.Top(-3); len(got) != 0 {
+		t.Errorf("Top(-3) = %v, want empty", got)
+	}
+	got := p.Top(10) // n > len(Ranked) clamps to the full ranking
+	if len(got) != 2 || got[0] != "RETIRED_UOPS" || got[1] != "LS_DISPATCH" {
+		t.Errorf("Top(10) = %v", got)
+	}
+}
+
 func TestFuzzUnknownEvent(t *testing.T) {
 	fw := smallFramework(t)
 	if _, err := fw.Fuzz([]string{"NOT_AN_EVENT"}); !errors.Is(err, ErrUnknownEvent) {
@@ -140,18 +165,71 @@ func TestProtectMulti(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := fw.ProtectMulti(vm, 0, gadgets, 1.0)
+	res, err := fw.ProtectMulti(vm, 0, gadgets, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if multi.Plans() == 0 {
+	if res.Multi.Plans() == 0 {
 		t.Fatal("no plans deployed")
 	}
+	if len(res.ProtectedEvents)+len(res.SkippedEvents) != len(gadgets.Events) {
+		t.Errorf("protected %v + skipped %v != requested %v",
+			res.ProtectedEvents, res.SkippedEvents, gadgets.Events)
+	}
 	world.Run(60)
-	if multi.InjectedReps() == 0 {
+	if res.Multi.InjectedReps() == 0 {
 		t.Error("multi-event deployment injected nothing")
 	}
 	if _, err := fw.ProtectMulti(vm, 0, nil, 1.0); !errors.Is(err, ErrNoGadgets) {
 		t.Errorf("nil gadget set error = %v", err)
+	}
+}
+
+func TestProtectMultiReportsSkippedEvents(t *testing.T) {
+	fw := smallFramework(t)
+	gadgets, err := fw.Fuzz([]string{"RETIRED_UOPS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request an extra event that fuzzing never confirmed a gadget for.
+	gadgets.Events = append(gadgets.Events, "LS_DISPATCH")
+	world := sev.NewWorld(sev.DefaultConfig(7))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.ProtectMulti(vm, 0, gadgets, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkippedEvents) != 1 || res.SkippedEvents[0] != "LS_DISPATCH" {
+		t.Errorf("skipped = %v, want [LS_DISPATCH]", res.SkippedEvents)
+	}
+	if len(res.ProtectedEvents) != 1 || res.ProtectedEvents[0] != "RETIRED_UOPS" {
+		t.Errorf("protected = %v, want [RETIRED_UOPS]", res.ProtectedEvents)
+	}
+}
+
+func TestProtectMultiAllSkippedFails(t *testing.T) {
+	fw := smallFramework(t)
+	gadgets, err := fw.Fuzz([]string{"RETIRED_UOPS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every requested event lacks a confirmed gadget.
+	gadgets.Events = []string{"LS_DISPATCH", "DATA_CACHE_ACCESSES"}
+	world := sev.NewWorld(sev.DefaultConfig(8))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fw.ProtectMulti(vm, 0, gadgets, 1.0)
+	if !errors.Is(err, ErrNoGadgets) {
+		t.Fatalf("all-skipped error = %v, want ErrNoGadgets", err)
+	}
+	for _, name := range gadgets.Events {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name skipped event %s", err, name)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/repro/aegis/internal/experiment"
+	"github.com/repro/aegis/internal/telemetry"
 )
 
 func main() {
@@ -178,6 +179,7 @@ func run(args []string) error {
 		scale = fs.String("scale", "eval", "scale: test | eval")
 		seed  = fs.Uint64("seed", 1, "experiment seed")
 		list  = fs.Bool("list", false, "list experiment names and exit")
+		telem = fs.Bool("telemetry", true, "print a telemetry summary after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,6 +224,9 @@ func run(args []string) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	if *telem {
+		fmt.Printf("=== telemetry ===\n%s", telemetry.Default().Summary())
 	}
 	return nil
 }

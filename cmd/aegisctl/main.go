@@ -20,6 +20,7 @@ import (
 	"github.com/repro/aegis/internal/experiment"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/telemetry"
 	"github.com/repro/aegis/internal/workload"
 )
 
@@ -43,9 +44,19 @@ func run(args []string) error {
 		ticks      = fs.Int("ticks", 200, "protected run length in ticks")
 		advise     = fs.Bool("advise", false, "auto-select epsilon: largest budget pushing a website-fingerprinting attacker to <= -target accuracy")
 		target     = fs.Float64("target", 0.25, "target attack accuracy for -advise")
+		telemFmt   = fs.String("telemetry", "summary", "telemetry dump after the run: summary | json | prom | none")
+		verbose    = fs.Bool("v", false, "stream structured telemetry events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *telemFmt {
+	case "summary", "json", "prom", "none":
+	default:
+		return fmt.Errorf("unknown -telemetry format %q (want summary, json, prom or none)", *telemFmt)
+	}
+	if *verbose {
+		telemetry.Log().SetSink(telemetry.NewWriterSink(os.Stderr))
 	}
 
 	app, err := pickApp(*appName, *secrets)
@@ -145,6 +156,21 @@ func run(args []string) error {
 		obf.InjectedReps(), obf.InjectedCounts(), obf.SaturationRate()*100)
 	fmt.Printf("completed %d/%d application jobs\n",
 		len(runner.Timings()), len(app.Secrets()))
+
+	switch *telemFmt {
+	case "summary":
+		fmt.Printf("\n--- telemetry ---\n%s", telemetry.Default().Summary())
+	case "json":
+		fmt.Println("\n--- telemetry (json) ---")
+		if err := telemetry.Default().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	case "prom":
+		fmt.Println("\n--- telemetry (prometheus) ---")
+		if err := telemetry.Default().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

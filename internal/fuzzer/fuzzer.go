@@ -26,6 +26,23 @@ import (
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/stats"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// Fuzzer metrics: candidate funnel (tried → screened → confirmed),
+// rejection causes, confirmed-gadget strength and cover-reduction timing.
+var (
+	mCandidatesTried    = telemetry.C("fuzzer_candidates_tried_total")
+	mCandidatesScreened = telemetry.C("fuzzer_candidates_screened_total")
+	mConfirmed          = telemetry.C("fuzzer_candidates_confirmed_total")
+	mRejectedTriggers   = telemetry.C("fuzzer_candidates_rejected_total",
+		telemetry.L("stage", "repeated-triggers"))
+	mRejectedReorder = telemetry.C("fuzzer_candidates_rejected_total",
+		telemetry.L("stage", "reordering"))
+	hConfirmedDelta = telemetry.H("fuzzer_confirmed_delta",
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250})
+	hEventSeconds = telemetry.H("fuzzer_event_seconds", telemetry.DefBuckets)
+	hCoverSeconds = telemetry.H("fuzzer_cover_seconds", telemetry.DefBuckets)
 )
 
 // Errors returned by the fuzzer.
@@ -296,6 +313,12 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	if event == nil {
 		return nil, 0, ErrNoTargetEvents
 	}
+	span := telemetry.StartSpan("fuzzer.event")
+	defer func() {
+		if d := span.End(); d > 0 {
+			hEventSeconds.Observe(d.Seconds())
+		}
+	}()
 	r := f.root.Split("event/" + event.Name)
 	b := f.newBench(r.Split("bench"))
 
@@ -322,6 +345,8 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 			reported = append(reported, candidate{g: g, delta: med})
 		}
 	}
+	mCandidatesTried.Add(float64(tried))
+	mCandidatesScreened.Add(float64(len(reported)))
 
 	if f.cfg.DisableConfirmation {
 		out := make([]Finding, 0, len(reported))
@@ -341,6 +366,8 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 		}
 		if ok {
 			confirmed = append(confirmed, c)
+		} else {
+			mRejectedTriggers.Inc()
 		}
 	}
 
@@ -365,6 +392,10 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	for i, c := range confirmed {
 		if stable[i] {
 			out = append(out, Finding{Gadget: c.g, Event: event, MedianDelta: c.delta})
+			mConfirmed.Inc()
+			hConfirmedDelta.Observe(c.delta)
+		} else {
+			mRejectedReorder.Inc()
 		}
 	}
 	return out, tried, nil
@@ -400,6 +431,8 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	if len(events) == 0 {
 		return nil, ErrNoTargetEvents
 	}
+	span := telemetry.StartSpan("fuzzer.campaign")
+	defer span.End()
 	res := &Result{
 		PerEvent:        make(map[string][]Finding, len(events)),
 		Representatives: make(map[string][]Finding, len(events)),
@@ -435,6 +468,10 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	// touches only reported candidates).
 	res.Timing.GenerateExec = genElapsed * 95 / 100
 	res.Timing.Confirmation = genElapsed - res.Timing.GenerateExec
+	telemetry.Log().Info("fuzzer: campaign done",
+		telemetry.F("events", len(events)),
+		telemetry.F("tried", res.CandidatesTried),
+		telemetry.F("confirmed_events", len(res.Best)))
 	return res, nil
 }
 
@@ -455,6 +492,12 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 	if res == nil || len(events) == 0 {
 		return nil, ErrNoTargetEvents
 	}
+	span := telemetry.StartSpan("fuzzer.minimal_cover")
+	defer func() {
+		if d := span.End(); d > 0 {
+			hCoverSeconds.Observe(d.Seconds())
+		}
+	}()
 	// Candidate pool: all representatives.
 	var pool []Finding
 	seen := make(map[string]bool)

@@ -6,6 +6,15 @@ import (
 
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// Perf-session metrics: sampling ticks and counter-register multiplex
+// rotations (rotations only tick when the session has more events than
+// registers, the accuracy-loss regime the paper warns about).
+var (
+	mPerfTicks          = telemetry.C("hpc_perf_ticks_total")
+	mMultiplexRotations = telemetry.C("hpc_multiplex_rotations_total")
 )
 
 // PerfAttr mirrors the perf_event_open attributes the paper configures:
@@ -88,6 +97,10 @@ func (s *PerfSession) Tick(now microarch.Counters) {
 	delta := now.Sub(s.last)
 	s.last = now
 	vec := delta.Vector()
+	mPerfTicks.Inc()
+	if len(s.groups) > 1 {
+		mMultiplexRotations.Inc()
+	}
 
 	for i := range s.events {
 		s.ticksTotal[i]++

@@ -6,6 +6,16 @@ import (
 
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// PMU metrics: raw counter-read and programming volume. RDPMC reads are
+// the innermost hot path of both the fuzzer and the obfuscator's kernel
+// module, so each is a single atomic add.
+var (
+	mRDPMCReads  = telemetry.C("hpc_rdpmc_reads_total")
+	mPMUPrograms = telemetry.C("hpc_pmu_programs_total")
+	mPMUResets   = telemetry.C("hpc_pmu_resets_total")
 )
 
 // NumCounterRegisters is the number of programmable HPC registers per core;
@@ -53,6 +63,7 @@ func (p *PMU) Program(slot int, e *Event) error {
 		return ErrNilEvent
 	}
 	p.slots[slot] = &pmcSlot{event: e, base: p.core.Counters()}
+	mPMUPrograms.Inc()
 	return nil
 }
 
@@ -74,6 +85,7 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 	if s == nil {
 		return 0, ErrSlotEmpty
 	}
+	mRDPMCReads.Inc()
 	delta := p.core.Counters().Sub(s.base)
 	v := s.event.Value(delta.Vector())
 	if p.noise != nil && s.event.NoiseSigma > 0 {
@@ -104,6 +116,7 @@ func (p *PMU) Reset(slot int) error {
 	}
 	s.base = p.core.Counters()
 	s.drift = 0
+	mPMUResets.Inc()
 	return nil
 }
 

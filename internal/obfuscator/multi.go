@@ -6,6 +6,15 @@ import (
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// Multi-event deployment metrics, kept separate from the single-event
+// obfuscator so summaries attribute injection volume per deployment style.
+var (
+	mMultiTicks          = telemetry.C("obfuscator_multi_ticks_total")
+	mMultiInjectedReps   = telemetry.C("obfuscator_multi_injected_reps_total")
+	mMultiClipSaturation = telemetry.C("obfuscator_multi_clip_saturations_total")
 )
 
 // Plan protects one critical HPC event with its own mechanism and gadget
@@ -91,6 +100,9 @@ func (m *MultiObfuscator) Plans() int { return len(m.plans) }
 func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 	m.ticks++
 	t := g.Tick()
+	tickSpan := telemetry.StartSpan("obfuscator.multi_tick")
+	defer tickSpan.End()
+	mMultiTicks.Inc()
 	for i := range m.plans {
 		ps := &m.plans[i]
 		if !ps.kmod.attached {
@@ -106,12 +118,13 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 			}
 			x = v
 		}
-		noise := ps.plan.Mechanism.Noise(t, x)
+		noise := drawNoise(ps.plan.Mechanism, t, x)
 		if noise < 0 {
 			noise = 0
 		}
 		if noise > ps.plan.ClipBound {
 			noise = ps.plan.ClipBound
+			mMultiClipSaturation.Inc()
 		}
 		reps := int(noise/ps.perExec + 0.5)
 		injected := 0
@@ -128,6 +141,7 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 		applied := float64(injected) * ps.perExec
 		ps.injectedCounts += applied
 		m.injectedReps += int64(injected)
+		mMultiInjectedReps.Add(float64(injected))
 		if d, ok := ps.plan.Mechanism.(*DStarMechanism); ok {
 			d.Commit(t, applied)
 		}

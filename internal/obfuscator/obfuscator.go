@@ -2,12 +2,26 @@ package obfuscator
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// Obfuscator metrics: per-tick injection volume, clip/budget saturation
+// and mechanism draw latency, shared by single- and multi-event deployers.
+var (
+	mTicks           = telemetry.C("obfuscator_ticks_total")
+	mInjectedReps    = telemetry.C("obfuscator_injected_reps_total")
+	mInjectedCounts  = telemetry.C("obfuscator_injected_counts_total")
+	mClipSaturations = telemetry.C("obfuscator_clip_saturations_total")
+	mRepSaturations  = telemetry.C("obfuscator_budget_saturations_total")
+	hDrawNanos       = telemetry.H("obfuscator_mechanism_draw_ns",
+		telemetry.ExpBuckets(64, 4, 8))
 )
 
 // Config configures the in-VM obfuscator service.
@@ -171,6 +185,9 @@ func (o *Obfuscator) SaturationRate() float64 {
 func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 	o.ticks++
 	t := g.Tick()
+	tickSpan := telemetry.StartSpan("obfuscator.tick")
+	defer tickSpan.End()
+	mTicks.Inc()
 
 	// Kernel module: lazily attach to this vCPU's core, then read the
 	// real-time HPC value when the mechanism needs it.
@@ -189,12 +206,13 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 	}
 
 	// Daemon: noise calculation with clipping to [0, B_u].
-	noise := o.cfg.Mechanism.Noise(t, x)
+	noise := drawNoise(o.cfg.Mechanism, t, x)
 	if noise < 0 {
 		noise = 0
 	}
 	if noise > o.cfg.ClipBound {
 		noise = o.cfg.ClipBound
+		mClipSaturations.Inc()
 	}
 
 	// Daemon: injection — repeat the stacked gadget segment.
@@ -202,6 +220,7 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 	if o.cfg.MaxRepsPerTick > 0 && reps > o.cfg.MaxRepsPerTick {
 		reps = o.cfg.MaxRepsPerTick
 		o.saturatedTicks++
+		mRepSaturations.Inc()
 	}
 	injectedReps := 0
 	for i := 0; i < reps; i++ {
@@ -212,6 +231,7 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 		if n < len(o.cfg.Segment) {
 			// vCPU tick budget exhausted mid-segment.
 			o.saturatedTicks++
+			mRepSaturations.Inc()
 			if n > 0 {
 				injectedReps++ // partial execution still perturbs
 			}
@@ -222,9 +242,22 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 	applied := float64(injectedReps) * o.perExec
 	o.injectedCounts += applied
 	o.injectedReps += int64(injectedReps)
+	mInjectedReps.Add(float64(injectedReps))
+	mInjectedCounts.Add(applied)
 
 	// Observation-based mechanisms track what was actually injected.
 	if d, ok := o.cfg.Mechanism.(*DStarMechanism); ok {
 		d.Commit(t, applied)
 	}
+}
+
+// drawNoise samples the mechanism, timing the draw when telemetry is live.
+func drawNoise(m Mechanism, t int64, x float64) float64 {
+	if !telemetry.Enabled() {
+		return m.Noise(t, x)
+	}
+	start := time.Now()
+	v := m.Noise(t, x)
+	hDrawNanos.Observe(float64(time.Since(start).Nanoseconds()))
+	return v
 }

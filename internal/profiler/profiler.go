@@ -20,13 +20,27 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/stats"
+	"github.com/repro/aegis/internal/telemetry"
 	"github.com/repro/aegis/internal/workload"
+)
+
+// Profiler metrics: warm-up filtering volume and MI-ranking timings.
+var (
+	mWarmupRuns      = telemetry.C("profiler_warmup_runs_total")
+	mWarmupFiltered  = telemetry.C("profiler_warmup_filtered_total")
+	mWarmupRemaining = telemetry.C("profiler_warmup_remaining_total")
+	mRankDegenerate  = telemetry.C("profiler_rank_degenerate_total")
+	mRankedEvents    = telemetry.C("profiler_ranked_events_total")
+	hTraceSeconds    = telemetry.H("profiler_trace_collect_seconds", telemetry.DefBuckets)
+	hMIScoreSeconds  = telemetry.H("profiler_mi_score_seconds",
+		telemetry.ExpBuckets(1e-5, 10, 8))
 )
 
 // Errors returned by the profiler.
@@ -200,6 +214,9 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 	if len(secrets) == 0 {
 		return nil, ErrNoSecrets
 	}
+	span := telemetry.StartSpan("profiler.warmup")
+	defer span.End()
+	mWarmupRuns.Inc()
 	res := &WarmupResult{
 		TotalEvents:      p.catalog.Size(),
 		RemainingPerType: make(map[hpc.EventType]int),
@@ -240,6 +257,12 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 			res.RemainingPerType[e.Type]++
 		}
 	}
+	mWarmupRemaining.Add(float64(len(res.Remaining)))
+	mWarmupFiltered.Add(float64(res.TotalEvents - len(res.Remaining)))
+	telemetry.Log().Info("profiler: warm-up filtering done",
+		telemetry.F("app", app.Name()),
+		telemetry.F("total", res.TotalEvents),
+		telemetry.F("remaining", len(res.Remaining)))
 	return res, nil
 }
 
@@ -263,12 +286,19 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	if len(events) == 0 {
 		return nil, ErrNoEvents
 	}
+	span := telemetry.StartSpan("profiler.rank")
+	defer span.End()
+	timed := telemetry.Enabled()
 
 	// Collect raw traces once per (secret, repeat); every event formula is
 	// evaluated on the same traces.
 	type rawSet struct {
 		secret string
 		traces [][][]float64 // repeat -> tick -> signals
+	}
+	var traceStart time.Time
+	if timed {
+		traceStart = time.Now()
 	}
 	raws := make([]rawSet, len(secrets))
 	for si, secret := range secrets {
@@ -282,9 +312,22 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 			raws[si].traces = append(raws[si].traces, tr)
 		}
 	}
+	if timed {
+		hTraceSeconds.Observe(time.Since(traceStart).Seconds())
+	}
 
+	scoreSpan := span.Child("profiler.rank.score")
 	ranked := make([]RankedEvent, 0, len(events))
 	for _, e := range events {
+		var scoreStart time.Time
+		if timed {
+			scoreStart = time.Now()
+		}
+		observeScore := func() {
+			if timed {
+				hMIScoreSeconds.Observe(time.Since(scoreStart).Seconds())
+			}
+		}
 		// Build per-trace event time series.
 		all := make([][]float64, 0, len(secrets)*p.cfg.RankRepeats)
 		bySecret := make([][][]float64, len(secrets))
@@ -305,6 +348,8 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 			var err error
 			pca, err = stats.FitPCA(all, 1)
 			if err != nil {
+				mRankDegenerate.Inc()
+				observeScore()
 				continue // degenerate event; cannot be ranked
 			}
 		}
@@ -339,14 +384,21 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 			classes = append(classes, stats.ClassModel{Secret: raws[si].secret, Dist: g})
 		}
 		if !usable {
+			mRankDegenerate.Inc()
+			observeScore()
 			continue
 		}
 		mi, err := stats.MutualInformation(classes, p.cfg.QuadratureSteps)
 		if err != nil {
+			mRankDegenerate.Inc()
+			observeScore()
 			continue
 		}
 		ranked = append(ranked, RankedEvent{Event: e, MI: mi, Classes: classes})
+		observeScore()
 	}
+	scoreSpan.End()
+	mRankedEvents.Add(float64(len(ranked)))
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].MI > ranked[j].MI })
 	return ranked, nil
 }

@@ -18,6 +18,15 @@ import (
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// World metrics: scheduler tick volume and VM lifecycle, the base rates
+// every per-tick metric above them is normalised against.
+var (
+	mWorldTicks  = telemetry.C("sev_world_ticks_total")
+	mVCPUSteps   = telemetry.C("sev_vcpu_steps_total")
+	mVMsLaunched = telemetry.C("sev_vms_launched_total")
 )
 
 // Errors returned by the SEV world.
@@ -316,6 +325,7 @@ func (w *World) LaunchVM(cfg VMConfig) (*VM, error) {
 		w.pinned[core] = vc
 	}
 	w.vms[vm.id] = vm
+	mVMsLaunched.Inc()
 	return vm, nil
 }
 
@@ -336,8 +346,10 @@ func (w *World) DestroyVM(id int) error {
 // round-robin on its physical core until the tick budget is exhausted.
 func (w *World) Step() {
 	w.tick++
+	mWorldTicks.Inc()
 	for _, vm := range w.vms {
 		for _, vc := range vm.vcpus {
+			mVCPUSteps.Inc()
 			core := w.cores[vc.physCore]
 			g := &GuestExecutor{
 				core:   core,

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultSpanRing is the default capacity of a tracer's completed-span
+// ring buffer.
+const defaultSpanRing = 512
+
+// SpanRecord is one completed span as kept in the tracer's ring buffer.
+type SpanRecord struct {
+	// ID is unique per tracer; Parent is 0 for root spans.
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	// Duration is the wall clock between Start and End.
+	Duration time.Duration
+}
+
+// Span is an in-flight timed operation. A nil *Span is valid and inert,
+// which is how a disabled tracer makes span instrumentation free.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// Child opens a sub-span linked to s. On a nil span it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(name, s.id)
+}
+
+// End completes the span, records it in the tracer's ring buffer and
+// returns its duration. Safe on a nil span and idempotent.
+func (s *Span) End() time.Duration {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tracer.record(SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Duration: d,
+	})
+	return d
+}
+
+// Tracer produces spans and keeps the most recent completed ones in a
+// fixed-size ring buffer.
+type Tracer struct {
+	enabled *atomic.Bool
+	nextID  atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int // ring write position
+	full bool
+}
+
+func newTracer(enabled *atomic.Bool, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{enabled: enabled, ring: make([]SpanRecord, capacity)}
+}
+
+// Start opens a root span. Returns nil (an inert span) when the registry
+// is disabled.
+func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = r
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the completed spans still in the ring buffer, oldest
+// first (i.e. in end order).
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// SpanStat aggregates the ring buffer's completed spans for one span name.
+type SpanStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the mean duration.
+func (s SpanStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Stats aggregates the buffered spans by name, sorted by name.
+func (t *Tracer) Stats() []SpanStat {
+	byName := make(map[string]*SpanStat)
+	for _, r := range t.Recent() {
+		st, ok := byName[r.Name]
+		if !ok {
+			st = &SpanStat{Name: r.Name}
+			byName[r.Name] = st
+		}
+		st.Count++
+		st.Total += r.Duration
+		if r.Duration > st.Max {
+			st.Max = r.Duration
+		}
+	}
+	out := make([]SpanStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sortSpanStats(out)
+	return out
+}
+
+func sortSpanStats(s []SpanStat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

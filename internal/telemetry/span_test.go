@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChildOrdering(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+
+	root := tr.Start("pipeline")
+	child := root.Child("stage")
+	grand := child.Child("step")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Recent()
+	if len(recs) != 3 {
+		t.Fatalf("recent spans = %d, want 3", len(recs))
+	}
+	// Ring buffer keeps end order: innermost first.
+	if recs[0].Name != "step" || recs[1].Name != "stage" || recs[2].Name != "pipeline" {
+		t.Fatalf("span order = %s,%s,%s", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	if byName["pipeline"].Parent != 0 {
+		t.Error("root span has a parent")
+	}
+	if byName["stage"].Parent != byName["pipeline"].ID {
+		t.Error("child span not linked to root")
+	}
+	if byName["step"].Parent != byName["stage"].ID {
+		t.Error("grandchild span not linked to child")
+	}
+	if byName["step"].Duration < time.Millisecond {
+		t.Errorf("grandchild duration = %v, want >= 1ms", byName["step"].Duration)
+	}
+	// Children end before their parents, so durations nest.
+	if byName["pipeline"].Duration < byName["step"].Duration {
+		t.Error("parent duration shorter than child duration")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Tracer().Start("once")
+	sp.End()
+	if d := sp.End(); d != 0 {
+		t.Error("second End recorded again")
+	}
+	if n := len(r.Tracer().Recent()); n != 1 {
+		t.Errorf("ring has %d records, want 1", n)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	enabled := NewRegistry()
+	tr := newTracer(&enabled.enabled, 4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	recs := tr.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring size = %d, want 4", len(recs))
+	}
+	// Oldest-first: IDs 7,8,9,10 survive.
+	if recs[0].ID != 7 || recs[3].ID != 10 {
+		t.Errorf("ring IDs = %d..%d, want 7..10", recs[0].ID, recs[3].ID)
+	}
+}
+
+func TestSpanStats(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	for i := 0; i < 3; i++ {
+		tr.Start("b").End()
+	}
+	tr.Start("a").End()
+	stats := tr.Stats()
+	if len(stats) != 2 || stats[0].Name != "a" || stats[1].Name != "b" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[1].Count != 3 {
+		t.Errorf("count(b) = %d, want 3", stats[1].Count)
+	}
+}
+
+func TestSpansConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.Start("work")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Recent()); n != defaultSpanRing {
+		t.Errorf("ring holds %d spans, want full %d", n, defaultSpanRing)
+	}
+}
