@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet race fmt-check check bench
+# Bench trajectory settings: the JSON the harness emits and the committed
+# baseline bench-check compares against (latest BENCH_*.json by default).
+BENCH_JSON ?= BENCH_$(shell date +%F).json
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_ARGS ?= -scale eval -seed 1 -only table2,table3 -parallelism 1,4 -telemetry=false
+
+.PHONY: build test vet race fmt-check check bench bench-json bench-check
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
@@ -24,5 +30,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-bench:
+bench: bench-json
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Run the serial-vs-parallel trajectory and record wall-clock/throughput.
+bench-json:
+	$(GO) run ./cmd/aegis-bench $(BENCH_ARGS) -bench-json $(BENCH_JSON)
+
+# Re-run the trajectory and fail if any experiment regressed more than 20%
+# against the committed baseline.
+bench-check:
+	@if [ -z "$(BASELINE)" ]; then echo "bench-check: no BENCH_*.json baseline found"; exit 1; fi
+	$(GO) run ./cmd/aegis-bench $(BENCH_ARGS) -bench-check $(BASELINE)

@@ -93,6 +93,10 @@ type Config struct {
 	ClipBound float64
 	// Sensitivity converts normalised DP sensitivity to event counts.
 	Sensitivity float64
+	// Parallelism bounds the worker pools of the offline pipelines
+	// (profiling and fuzzing); <= 0 means GOMAXPROCS. Results are
+	// byte-identical at any value — only wall-clock time changes.
+	Parallelism int
 }
 
 // Framework is a configured Aegis instance.
@@ -184,6 +188,7 @@ func (f *Framework) Profile(app workload.App) (*Profile, error) {
 	pcfg := profiler.DefaultConfig(f.cfg.Seed)
 	pcfg.TraceTicks = f.cfg.ProfileTraceTicks
 	pcfg.RankRepeats = f.cfg.ProfileRepeats
+	pcfg.Parallelism = f.cfg.Parallelism
 	p := profiler.New(f.catalog, pcfg)
 	res, err := p.Profile(app)
 	if err != nil {
@@ -236,12 +241,16 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	}
 	fcfg := fuzzer.DefaultConfig(f.cfg.Seed)
 	fcfg.CandidatesPerEvent = f.cfg.FuzzCandidates
+	fcfg.Parallelism = f.cfg.Parallelism
 	fz, err := fuzzer.New(f.legal, fcfg)
 	if err != nil {
 		return nil, err
 	}
+	// A partial campaign (some events skipped, findings for the rest) is
+	// still deployable — mirror ProtectMulti and continue with what
+	// succeeded; fail only when the fuzzer had nothing to report.
 	res, err := fz.Fuzz(events)
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
 	cover, err := fz.MinimalCover(res, events)

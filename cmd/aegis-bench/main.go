@@ -4,20 +4,40 @@
 // Usage:
 //
 //	aegis-bench [-only table1,figure9a,...] [-scale test|eval] [-seed N]
+//	            [-parallelism N[,M,...]] [-bench-json PATH]
+//	            [-bench-check BASELINE] [-serial]
 //
 // Without -only, every experiment runs in paper order. The eval scale
 // matches the values recorded in EXPERIMENTS.md; the test scale is a quick
 // smoke run.
+//
+// -parallelism bounds the worker pools inside the fuzzing and profiling
+// pipelines (0 = GOMAXPROCS). A comma-separated list runs the selected
+// experiments once per value — a benchmark trajectory — and reports the
+// speedup of the last value over the first. Results are byte-identical at
+// every value; only wall-clock time changes.
+//
+// -bench-json writes per-experiment wall-clock (and throughput, where the
+// experiment exposes a work-item count) to PATH. -bench-check re-runs the
+// same experiments and fails if any is more than 20% slower than the
+// entries recorded in BASELINE. Both imply serial job execution so
+// timings are not polluted by sibling experiments; otherwise independent
+// experiments run concurrently (disable with -serial).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/repro/aegis/internal/experiment"
+	"github.com/repro/aegis/internal/parallel"
 	"github.com/repro/aegis/internal/telemetry"
 )
 
@@ -30,7 +50,10 @@ func main() {
 
 type job struct {
 	name string
-	run  func(experiment.Scale) (fmt.Stringer, error)
+	// run returns the rendered result and the number of work items the
+	// experiment processed (0 when the experiment has no natural unit);
+	// items feed the throughput column of -bench-json.
+	run func(experiment.Scale) (fmt.Stringer, int, error)
 }
 
 // renderable adapts experiment results to fmt.Stringer.
@@ -38,148 +61,210 @@ type renderable struct{ s string }
 
 func (r renderable) String() string { return r.s }
 
-func wrap(s string, err error) (fmt.Stringer, error) {
-	return renderable{s: s}, err
+func wrap(s string, err error) (fmt.Stringer, int, error) {
+	return renderable{s: s}, 0, err
 }
 
 func jobs() []job {
 	return []job{
-		{"table1", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"table1", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			return wrap(experiment.Table1().Render(), nil)
 		}},
-		{"table2", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"table2", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Table2(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			return wrap(res.Render(), nil)
+			items := 0
+			for _, row := range res.Rows {
+				items += row.TotalEvents
+			}
+			return renderable{s: res.Render()}, items, nil
 		}},
-		{"table3", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"table3", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Table3(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			return wrap(res.Render(), nil)
+			items := 0
+			for _, row := range res.Rows {
+				items += row.GadgetsTried
+			}
+			return renderable{s: res.Render()}, items, nil
 		}},
-		{"figure1", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure1", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure1(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure3", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure3", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure3(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure8", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure8", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure8(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure9a", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure9a", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure9a(sc, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure9b", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure9b", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure9b(sc, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure9c", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure9c", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure9c(sc, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure10", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure10", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure10(sc, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"figure11", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"figure11", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.Figure11(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"constant", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"constant", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.ConstantOutputComparison(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"operating", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"operating", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.FindOperatingPoints(sc, 0.25, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"multitries", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"multitries", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.MultipleTriesAnalysis(sc, nil)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"occupancy", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"occupancy", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.CacheOccupancyExtension(sc, 0.125)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"ablation-cover", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"ablation-cover", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.AblationSetCover(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"ablation-pca", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"ablation-pca", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.AblationPCA(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"ablation-confirm", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"ablation-confirm", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			res, err := experiment.AblationConfirmation(sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			return wrap(res.Render(), nil)
 		}},
-		{"ablation-buffer", func(sc experiment.Scale) (fmt.Stringer, error) {
+		{"ablation-buffer", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			return wrap(experiment.AblationNoiseBuffer(1<<20).Render(), nil)
 		}},
 	}
 }
 
+// benchEntry records one experiment's timing within one trajectory run.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Items       int     `json:"items,omitempty"`
+	// Throughput is items per second, present when Items > 0.
+	Throughput float64 `json:"throughput,omitempty"`
+}
+
+// benchRun is one pass over the selected experiments at a fixed pipeline
+// parallelism.
+type benchRun struct {
+	Parallelism int          `json:"parallelism"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+// benchReport is the -bench-json document; bench-check compares a fresh
+// report against a committed one.
+type benchReport struct {
+	Schema     string     `json:"schema"`
+	Created    string     `json:"created"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Seed       uint64     `json:"seed"`
+	Scale      string     `json:"scale"`
+	Runs       []benchRun `json:"runs"`
+	// Speedups maps experiment name to wall(first run)/wall(last run) —
+	// the trajectory gain from the first parallelism value to the last.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+func parseParallelismList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -parallelism value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -parallelism list")
+	}
+	return out, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("aegis-bench", flag.ContinueOnError)
 	var (
-		only  = fs.String("only", "", "comma-separated experiment names (default: all)")
-		scale = fs.String("scale", "eval", "scale: test | eval")
-		seed  = fs.Uint64("seed", 1, "experiment seed")
-		list  = fs.Bool("list", false, "list experiment names and exit")
-		telem = fs.Bool("telemetry", true, "print a telemetry summary after the run")
+		only     = fs.String("only", "", "comma-separated experiment names (default: all)")
+		scale    = fs.String("scale", "eval", "scale: test | eval")
+		seed     = fs.Uint64("seed", 1, "experiment seed")
+		list     = fs.Bool("list", false, "list experiment names and exit")
+		telem    = fs.Bool("telemetry", true, "print a telemetry summary after the run")
+		para     = fs.String("parallelism", "0", "pipeline worker bound; comma-separated list runs a trajectory (0 = GOMAXPROCS)")
+		benchOut = fs.String("bench-json", "", "write wall-clock/throughput JSON to this path (implies serial jobs)")
+		baseline = fs.String("bench-check", "", "compare a fresh run against this baseline JSON; fail on >20% regression")
+		serial   = fs.Bool("serial", false, "run experiments one at a time even when not benchmarking")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,6 +284,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
+	parallelisms, err := parseParallelismList(*para)
+	if err != nil {
+		return err
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -206,27 +295,170 @@ func run(args []string) error {
 			selected[strings.TrimSpace(name)] = true
 		}
 	}
-
-	ran := 0
+	var picked []job
 	for _, j := range jobs() {
-		if len(selected) > 0 && !selected[j.name] {
-			continue
+		if len(selected) == 0 || selected[j.name] {
+			picked = append(picked, j)
 		}
-		ran++
-		fmt.Printf("=== %s ===\n", j.name)
-		start := time.Now()
-		out, err := j.run(sc)
-		if err != nil {
-			return fmt.Errorf("%s: %w", j.name, err)
-		}
-		fmt.Println(out.String())
-		fmt.Printf("(%s in %s)\n\n", j.name, time.Since(start).Round(time.Millisecond))
 	}
-	if ran == 0 {
+	if len(picked) == 0 {
 		return fmt.Errorf("no experiments matched %q", *only)
+	}
+
+	// Timing runs must not share the machine with sibling experiments.
+	timing := *benchOut != "" || *baseline != ""
+	concurrent := !timing && !*serial && len(picked) > 1
+
+	report := benchReport{
+		Schema:     "aegis-bench/v1",
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+	for _, p := range parallelisms {
+		scp := sc
+		scp.Parallelism = p
+		if len(parallelisms) > 1 {
+			fmt.Printf("=== parallelism %d ===\n\n", p)
+		}
+		run := benchRun{Parallelism: p}
+		type jobOut struct {
+			text  string
+			entry benchEntry
+		}
+		outs := make([]jobOut, len(picked))
+		exec := func(_ context.Context, i int) (struct{}, error) {
+			j := picked[i]
+			start := time.Now()
+			out, items, err := j.run(scp)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("%s: %w", j.name, err)
+			}
+			wall := time.Since(start)
+			e := benchEntry{Name: j.name, WallSeconds: wall.Seconds(), Items: items}
+			if items > 0 && wall > 0 {
+				e.Throughput = float64(items) / wall.Seconds()
+			}
+			outs[i] = jobOut{
+				text:  fmt.Sprintf("=== %s ===\n%s\n(%s in %s)\n\n", j.name, out.String(), j.name, wall.Round(time.Millisecond)),
+				entry: e,
+			}
+			return struct{}{}, nil
+		}
+		if concurrent {
+			pool := parallel.NewPool("bench.jobs", 0)
+			if _, err := parallel.Map(context.Background(), pool, len(picked), exec); err != nil {
+				return err
+			}
+		} else {
+			for i := range picked {
+				if _, err := exec(context.Background(), i); err != nil {
+					return err
+				}
+				fmt.Print(outs[i].text)
+				outs[i].text = ""
+			}
+		}
+		for _, o := range outs {
+			if o.text != "" {
+				fmt.Print(o.text)
+			}
+			run.Entries = append(run.Entries, o.entry)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	if len(report.Runs) > 1 {
+		report.Speedups = map[string]float64{}
+		first, last := report.Runs[0], report.Runs[len(report.Runs)-1]
+		for i, e := range first.Entries {
+			if e.WallSeconds > 0 && last.Entries[i].WallSeconds > 0 {
+				report.Speedups[e.Name] = e.WallSeconds / last.Entries[i].WallSeconds
+			}
+		}
+		fmt.Printf("=== speedup (parallelism %d -> %d) ===\n", first.Parallelism, last.Parallelism)
+		for _, e := range first.Entries {
+			if s, ok := report.Speedups[e.Name]; ok {
+				fmt.Printf("%-18s %.2fx\n", e.Name, s)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *benchOut != "" {
+		if err := writeReport(*benchOut, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+	if *baseline != "" {
+		if err := checkRegression(*baseline, report); err != nil {
+			return err
+		}
 	}
 	if *telem {
 		fmt.Printf("=== telemetry ===\n%s", telemetry.Default().Summary())
 	}
+	return nil
+}
+
+func writeReport(path string, r benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkRegression compares a fresh report against a committed baseline:
+// any experiment more than 20% slower than the baseline entry with the
+// same (parallelism, name) fails the check. Entries present on only one
+// side are ignored, so the baseline may cover a superset of experiments.
+func checkRegression(path string, fresh benchReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-check: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-check: parse %s: %w", path, err)
+	}
+	baseWall := map[string]float64{}
+	for _, r := range base.Runs {
+		for _, e := range r.Entries {
+			baseWall[fmt.Sprintf("%d/%s", r.Parallelism, e.Name)] = e.WallSeconds
+		}
+	}
+	const tolerance = 1.20
+	var regressions []string
+	compared := 0
+	for _, r := range fresh.Runs {
+		for _, e := range r.Entries {
+			key := fmt.Sprintf("%d/%s", r.Parallelism, e.Name)
+			b, ok := baseWall[key]
+			if !ok || b <= 0 {
+				continue
+			}
+			compared++
+			ratio := e.WallSeconds / b
+			status := "ok"
+			if ratio > tolerance {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2fs vs baseline %.2fs (%.0f%% slower)", key, e.WallSeconds, b, (ratio-1)*100))
+			}
+			fmt.Printf("bench-check %-22s %.2fs vs %.2fs  %s\n", key, e.WallSeconds, b, status)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench-check: no comparable entries in %s", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-check: %d regression(s) over %d%%: %s",
+			len(regressions), int((tolerance-1)*100), strings.Join(regressions, "; "))
+	}
+	fmt.Printf("bench-check: %d entries within %d%% of baseline\n", compared, int((tolerance-1)*100))
 	return nil
 }

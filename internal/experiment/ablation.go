@@ -44,6 +44,7 @@ func AblationSetCover(sc Scale) (*SetCoverAblation, error) {
 	legal := isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures()).Legal
 	fcfg := fuzzer.DefaultConfig(sc.Seed)
 	fcfg.CandidatesPerEvent = sc.FuzzCandidates
+	fcfg.Parallelism = sc.Parallelism
 	fz, err := fuzzer.New(legal, fcfg)
 	if err != nil {
 		return nil, err
@@ -119,6 +120,7 @@ func AblationPCA(sc Scale) (*PCAAblation, error) {
 		pcfg := profiler.DefaultConfig(sc.Seed)
 		pcfg.TraceTicks = sc.TraceTicks
 		pcfg.RankRepeats = sc.RankRepeats
+		pcfg.Parallelism = sc.Parallelism
 		pcfg.RawMeanFeature = raw
 		p := profiler.New(cat, pcfg)
 		return p.Rank(app, events)
@@ -215,6 +217,7 @@ func AblationConfirmation(sc Scale) (*ConfirmationAblation, error) {
 	run := func(disable bool) (int, error) {
 		fcfg := fuzzer.DefaultConfig(sc.Seed)
 		fcfg.CandidatesPerEvent = sc.FuzzCandidates * 4
+		fcfg.Parallelism = sc.Parallelism
 		fcfg.DisableConfirmation = disable
 		fz, err := fuzzer.New(legal, fcfg)
 		if err != nil {

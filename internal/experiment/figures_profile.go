@@ -34,6 +34,7 @@ func Figure3(sc Scale) (*Figure3Result, error) {
 	pcfg := profiler.DefaultConfig(sc.Seed)
 	pcfg.TraceTicks = sc.TraceTicks
 	pcfg.RankRepeats = sc.RankRepeats
+	pcfg.Parallelism = sc.Parallelism
 	p := profiler.New(cat, pcfg)
 	app := websiteApp(sc)
 	event := cat.MustByName("DATA_CACHE_REFILLS_FROM_SYSTEM")
@@ -107,6 +108,7 @@ func Figure8(sc Scale) (*Figure8Result, error) {
 		pcfg := profiler.DefaultConfig(sc.Seed)
 		pcfg.TraceTicks = sc.TraceTicks
 		pcfg.RankRepeats = sc.RankRepeats
+		pcfg.Parallelism = sc.Parallelism
 		pcfg.WarmupTicks = sc.TraceTicks / 2
 		if pcfg.WarmupTicks < 20 {
 			pcfg.WarmupTicks = 20

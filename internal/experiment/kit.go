@@ -36,6 +36,7 @@ func BuildDefenseKit(sc Scale) (*DefenseKit, error) {
 	legal := isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures()).Legal
 	fcfg := fuzzer.DefaultConfig(sc.Seed)
 	fcfg.CandidatesPerEvent = sc.FuzzCandidates
+	fcfg.Parallelism = sc.Parallelism
 	fz, err := fuzzer.New(legal, fcfg)
 	if err != nil {
 		return nil, err

@@ -39,6 +39,10 @@ type Scale struct {
 	FuzzCandidates int
 	// RankRepeats per secret in profiling (paper: 100).
 	RankRepeats int
+	// Parallelism bounds the worker pools of the fuzzing and profiling
+	// pipelines; <= 0 means GOMAXPROCS. Results are byte-identical at any
+	// value — only wall-clock time changes.
+	Parallelism int
 	// Seed drives everything.
 	Seed uint64
 }

@@ -67,6 +67,9 @@ type Table2Row struct {
 	RemainingShare map[hpc.EventType]float64
 	// RemainingTotal is the total number of surviving events.
 	RemainingTotal int
+	// TotalEvents is the catalog size swept by the warm-up, the work unit
+	// the bench harness uses for throughput.
+	TotalEvents int
 }
 
 // Table2Result reproduces paper Table II: HPC event type distribution and
@@ -85,6 +88,7 @@ func Table2(sc Scale) (Table2Result, error) {
 		hpc.NewAMDEpyc7252Catalog(1),
 	} {
 		pcfg := profiler.DefaultConfig(sc.Seed)
+		pcfg.Parallelism = sc.Parallelism
 		pcfg.WarmupTicks = sc.TraceTicks / 2
 		if pcfg.WarmupTicks < 20 {
 			pcfg.WarmupTicks = 20
@@ -100,6 +104,7 @@ func Table2(sc Scale) (Table2Result, error) {
 			Share:          make(map[hpc.EventType]float64),
 			RemainingShare: make(map[hpc.EventType]float64),
 			RemainingTotal: len(warm.Remaining),
+			TotalEvents:    cat.Size(),
 		}
 		counts := cat.TypeCounts()
 		for _, t := range hpc.AllEventTypes() {
@@ -173,6 +178,7 @@ func Table3(sc Scale) (Table3Result, error) {
 
 		fcfg := fuzzer.DefaultConfig(sc.Seed)
 		fcfg.CandidatesPerEvent = sc.FuzzCandidates
+		fcfg.Parallelism = sc.Parallelism
 		fz, err := fuzzer.New(clean.Legal, fcfg)
 		if err != nil {
 			return Table3Result{}, err

@@ -1,0 +1,40 @@
+package fuzzer
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/isa"
+)
+
+// BenchmarkFuzz measures the fuzzing campaign at several worker counts; the
+// serial (parallelism=1) case is the baseline the parallel cases are
+// compared against in EXPERIMENTS.md.
+func BenchmarkFuzz(b *testing.B) {
+	legal := isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures()).Legal
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	events := []*hpc.Event{
+		cat.MustByName("RETIRED_UOPS"),
+		cat.MustByName("LS_DISPATCH"),
+		cat.MustByName("MAB_ALLOCATION_BY_PIPE"),
+		cat.MustByName("DATA_CACHE_REFILLS_FROM_SYSTEM"),
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := smallConfig(1)
+			cfg.Parallelism = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := New(legal, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.Fuzz(events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -16,14 +16,17 @@
 package fuzzer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/parallel"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/stats"
 	"github.com/repro/aegis/internal/telemetry"
@@ -39,6 +42,10 @@ var (
 		telemetry.L("stage", "repeated-triggers"))
 	mRejectedReorder = telemetry.C("fuzzer_candidates_rejected_total",
 		telemetry.L("stage", "reordering"))
+	mEventsSkipped  = telemetry.C("fuzzer_events_skipped_total")
+	mMemoHits       = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "hit"))
+	mMemoMisses     = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "miss"))
+	mPrefiltered    = telemetry.C("fuzzer_candidates_prefiltered_total")
 	hConfirmedDelta = telemetry.H("fuzzer_confirmed_delta",
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250})
 	hEventSeconds = telemetry.H("fuzzer_event_seconds", telemetry.DefBuckets)
@@ -112,6 +119,11 @@ type Config struct {
 	// benchmarks use this; it quantifies the false positives the paper's
 	// confirmation mechanisms remove.
 	DisableConfirmation bool
+	// Parallelism bounds the worker count of the campaign fan-out; <= 0
+	// uses GOMAXPROCS. Results are byte-identical at any value: every
+	// event derives its RNG streams and measurement benches from
+	// (Seed, event name) alone, never from shared mutable state.
+	Parallelism int
 }
 
 // DefaultConfig returns evaluation defaults.
@@ -139,6 +151,16 @@ type StepTiming struct {
 	Filtering    time.Duration
 }
 
+// SkippedEvent is one event dropped from a campaign because its FuzzEvent
+// failed; the rest of the campaign completed without it.
+type SkippedEvent struct {
+	// Event is the event's name (or a positional placeholder for a nil
+	// event).
+	Event string
+	// Err is the failure that caused the skip.
+	Err error
+}
+
 // Result is a full fuzzing campaign outcome.
 type Result struct {
 	// PerEvent maps event name to its confirmed findings (post filter).
@@ -147,6 +169,9 @@ type Result struct {
 	Representatives map[string][]Finding
 	// Best maps event name to the gadget with the highest median delta.
 	Best map[string]Finding
+	// Skipped lists the events whose searches failed, in input order.
+	// Their PerEvent entries are absent; everything else is complete.
+	Skipped []SkippedEvent
 	// CandidatesTried is the total number of gadget executions.
 	CandidatesTried int
 	// Timing is the per-step wall clock.
@@ -158,11 +183,102 @@ func (r *Result) GadgetsFor(event string) []Finding {
 	return r.Representatives[event]
 }
 
-// Fuzzer runs gadget-search campaigns.
+// Fuzzer runs gadget-search campaigns. A Fuzzer is safe for the concurrent
+// per-event fan-out of Fuzz: its fields are read-only after New except the
+// screening memo, which is lock-protected and caches only pure values.
 type Fuzzer struct {
 	legal []isa.Variant
 	cfg   Config
 	root  *rng.Source
+	memo  *screenMemo
+}
+
+// gadgetSig is a gadget's noise-free execution signature: the raw counter
+// deltas of running it on a fresh, interrupt-free bench. cold is the first
+// execution (empty caches), warm the second (steady state), total their
+// sum — exactly the two-execution measurement MinimalCover credits
+// coverage from. The signature is a pure function of (gadget, CoreConfig),
+// so it is identical no matter which event, worker or stage computes it.
+type gadgetSig struct {
+	cold  []float64
+	warm  []float64
+	total []float64
+}
+
+// screenMemo is the cross-event screening memo: signatures keyed by
+// Gadget.ClusterKey() then Gadget.Key(), shared by every event shard of a
+// campaign and by MinimalCover. Because cached values are pure, a hit
+// returns exactly what recomputation would, keeping results independent of
+// worker count and scheduling order.
+type screenMemo struct {
+	mu       sync.Mutex
+	clusters map[string]map[string]gadgetSig
+}
+
+// lookup returns the cached signature for a gadget, if present.
+func (m *screenMemo) lookup(cluster, key string) (gadgetSig, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sig, ok := m.clusters[cluster][key]
+	return sig, ok
+}
+
+// store caches a computed signature.
+func (m *screenMemo) store(cluster, key string, sig gadgetSig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.clusters == nil {
+		m.clusters = make(map[string]map[string]gadgetSig)
+	}
+	byGadget := m.clusters[cluster]
+	if byGadget == nil {
+		byGadget = make(map[string]gadgetSig)
+		m.clusters[cluster] = byGadget
+	}
+	byGadget[key] = sig
+}
+
+// signature measures (or recalls) a gadget's noise-free signature. Both the
+// screening prefilter and MinimalCover draw from the same memo, so a
+// gadget screened during the campaign never pays for its cover measurement
+// again.
+func (f *Fuzzer) signature(g Gadget) (gadgetSig, error) {
+	cluster, key := g.ClusterKey(), g.Key()
+	if sig, ok := f.memo.lookup(cluster, key); ok {
+		mMemoHits.Inc()
+		return sig, nil
+	}
+	mMemoMisses.Inc()
+	// Compute outside the lock: the value is pure, so a racing duplicate
+	// computation stores an identical signature.
+	b := f.newBench(nil)
+	before := b.core.Counters()
+	if err := b.core.ExecuteSequence(g.Sequence(), b.ctx); err != nil {
+		return gadgetSig{}, err
+	}
+	afterCold := b.core.Counters()
+	if err := b.core.ExecuteSequence(g.Sequence(), b.ctx); err != nil {
+		return gadgetSig{}, err
+	}
+	afterWarm := b.core.Counters()
+	sig := gadgetSig{
+		cold:  afterCold.Sub(before).Vector(),
+		warm:  afterWarm.Sub(afterCold).Vector(),
+		total: afterWarm.Sub(before).Vector(),
+	}
+	f.memo.store(cluster, key, sig)
+	return sig, nil
+}
+
+// canPerturb reports whether the signature shows any mechanistic effect of
+// at least MinDelta on the event, in either the cold or steady-state
+// execution. Candidates that fail this cannot pass screening except
+// through measurement noise, so FuzzEvent rejects them without paying for
+// the repeated noisy measurements.
+func (f *Fuzzer) canPerturb(event *hpc.Event, sig gadgetSig) bool {
+	return event.Value(sig.cold) >= f.cfg.MinDelta ||
+		event.Value(sig.warm) >= f.cfg.MinDelta ||
+		event.Value(sig.total) >= f.cfg.MinDelta
 }
 
 // New builds a fuzzer over the post-cleanup legal instruction list.
@@ -193,6 +309,7 @@ func New(legal []isa.Variant, cfg Config) (*Fuzzer, error) {
 		legal: append([]isa.Variant(nil), legal...),
 		cfg:   cfg,
 		root:  rng.New(cfg.Seed).Split("fuzzer"),
+		memo:  &screenMemo{},
 	}, nil
 }
 
@@ -330,13 +447,24 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	tried := 0
 
 	// Generation + execution: sample candidate pairs and keep the ones
-	// whose median delta indicates a perturbation.
+	// whose median delta indicates a perturbation. The cross-event memo
+	// prefilters candidates whose noise-free signature shows no effect on
+	// this event, skipping their repeated noisy measurements; the
+	// signature is pure, so the skip pattern is scheduling-independent.
 	for i := 0; i < f.cfg.CandidatesPerEvent; i++ {
 		g := Gadget{
 			Reset:   f.legal[r.Intn(len(f.legal))],
 			Trigger: f.legal[r.Intn(len(f.legal))],
 		}
 		tried++
+		sig, err := f.signature(g)
+		if err != nil {
+			return nil, tried, err
+		}
+		if !f.canPerturb(event, sig) {
+			mPrefiltered.Inc()
+			continue
+		}
 		med, err := b.medianDelta(event, g.Sequence(), 3)
 		if err != nil {
 			return nil, tried, err
@@ -426,7 +554,17 @@ func filter(findings []Finding) (reps []Finding, best Finding) {
 	return reps, best
 }
 
-// Fuzz runs the full campaign over the target events.
+// Fuzz runs the full campaign over the target events, fanning the per-event
+// searches out across Config.Parallelism workers. Each event shard owns its
+// benches (one PMU each) and derives every RNG stream from (Seed, event
+// name), and findings merge in input-event order, so the Result is
+// byte-identical at any parallelism level.
+//
+// A failing event does not abort the campaign: the event is skipped,
+// counted in telemetry, recorded in Result.Skipped, and the partial Result
+// is returned together with an error wrapping every per-event failure
+// (mirroring ProtectMulti's skip semantics). Only when every event fails is
+// the Result nil.
 func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	if len(events) == 0 {
 		return nil, ErrNoTargetEvents
@@ -439,20 +577,47 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 		Best:            make(map[string]Finding, len(events)),
 	}
 
-	genStart := time.Now()
-	for _, e := range events {
-		findings, tried, err := f.FuzzEvent(e)
-		if err != nil {
-			return nil, fmt.Errorf("fuzz %s: %w", e.Name, err)
-		}
-		res.CandidatesTried += tried
-		res.PerEvent[e.Name] = findings
+	// Fan the events out; shard failures are carried in the outcome (not
+	// as Map errors) so one bad event never cancels its siblings.
+	type outcome struct {
+		findings []Finding
+		tried    int
+		err      error
 	}
+	pool := parallel.NewPool("fuzzer.events", f.cfg.Parallelism)
+	genStart := time.Now()
+	outs, _ := parallel.Map(context.Background(), pool, len(events),
+		func(_ context.Context, i int) (outcome, error) {
+			findings, tried, err := f.FuzzEvent(events[i])
+			return outcome{findings: findings, tried: tried, err: err}, nil
+		})
 	// FuzzEvent interleaves generation/execution and confirmation; split
 	// the wall clock by the paper's observed ~250:1 ratio is not possible
 	// post hoc, so time filtering separately and attribute the rest to
 	// generation+execution+confirmation via the Timing fields below.
 	genElapsed := time.Since(genStart)
+
+	// Merge in stable input-event order.
+	var errs []error
+	for i, out := range outs {
+		name := fmt.Sprintf("event[%d]", i)
+		if events[i] != nil {
+			name = events[i].Name
+		}
+		res.CandidatesTried += out.tried
+		if out.err != nil {
+			mEventsSkipped.Inc()
+			telemetry.Log().Warn("fuzzer: event skipped, search failed",
+				telemetry.F("event", name), telemetry.F("error", out.err.Error()))
+			res.Skipped = append(res.Skipped, SkippedEvent{Event: name, Err: out.err})
+			errs = append(errs, fmt.Errorf("fuzz %s: %w", name, out.err))
+			continue
+		}
+		res.PerEvent[name] = out.findings
+	}
+	if len(errs) == len(events) {
+		return nil, fmt.Errorf("fuzzer: every event failed: %w", errors.Join(errs...))
+	}
 
 	filterStart := time.Now()
 	for name, findings := range res.PerEvent {
@@ -471,7 +636,12 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	telemetry.Log().Info("fuzzer: campaign done",
 		telemetry.F("events", len(events)),
 		telemetry.F("tried", res.CandidatesTried),
+		telemetry.F("skipped", len(res.Skipped)),
 		telemetry.F("confirmed_events", len(res.Best)))
+	if len(errs) > 0 {
+		return res, fmt.Errorf("fuzzer: %d of %d events skipped: %w",
+			len(errs), len(events), errors.Join(errs...))
+	}
 	return res, nil
 }
 
@@ -511,25 +681,27 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 	}
 	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Gadget.Key() < pool[j].Gadget.Key() })
 
-	// Measure coverage of each candidate over all events by executing it
-	// once and evaluating every event formula on the raw counter delta.
-	coverage := make([][]int, len(pool))
-	for i, fd := range pool {
-		b := f.newBench(f.root.SplitN("cover", i))
-		before := b.core.Counters()
-		if err := b.core.ExecuteSequence(fd.Gadget.Sequence(), b.ctx); err != nil {
-			return nil, err
-		}
-		// Execute a second time so steady-state (warm) effects appear.
-		if err := b.core.ExecuteSequence(fd.Gadget.Sequence(), b.ctx); err != nil {
-			return nil, err
-		}
-		vec := b.core.Counters().Sub(before).Vector()
-		for ei, e := range events {
-			if e.Value(vec) >= f.cfg.MinDelta {
-				coverage[i] = append(coverage[i], ei)
+	// Measure coverage of each candidate over all events: the gadget's
+	// cold+warm noise-free signature (usually already in the screening
+	// memo) evaluated under every event formula. Shards are pure, so the
+	// fan-out preserves the serial coverage matrix exactly.
+	workers := parallel.NewPool("fuzzer.cover", f.cfg.Parallelism)
+	coverage, err := parallel.Map(context.Background(), workers, len(pool),
+		func(_ context.Context, i int) ([]int, error) {
+			sig, err := f.signature(pool[i].Gadget)
+			if err != nil {
+				return nil, err
 			}
-		}
+			var covers []int
+			for ei, e := range events {
+				if e.Value(sig.total) >= f.cfg.MinDelta {
+					covers = append(covers, ei)
+				}
+			}
+			return covers, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Greedy cover.

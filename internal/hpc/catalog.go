@@ -10,6 +10,12 @@
 // microarch.Core, so they respond mechanistically to executed instructions.
 // Reads carry measurement noise (paper challenge C2): external interference
 // means HPCs never count perfectly.
+//
+// Concurrency contract: a Catalog and its Events are immutable after
+// construction and safe for concurrent reads, which is what lets the
+// parallel fuzzing and profiling pipelines share one catalog across worker
+// shards. A PMU (and the Core it reads) is single-goroutine state — each
+// worker must own a private PMU/Core/bench, never share one across shards.
 package hpc
 
 import (

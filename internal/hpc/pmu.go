@@ -34,6 +34,9 @@ var (
 // analog. Reads include measurement noise: relative Gaussian jitter plus
 // occasional interrupt-induced spikes, reproducing the paper's observation
 // (challenge C2) that HPCs never count precisely.
+//
+// A PMU is not safe for concurrent use: like real hardware it is per-core
+// state, and parallel pipeline workers must each program their own.
 type PMU struct {
 	core  *microarch.Core
 	noise *rng.Source

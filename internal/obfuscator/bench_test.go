@@ -1,0 +1,57 @@
+package obfuscator
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/repro/aegis/internal/rng"
+)
+
+// BenchmarkNoiseCalculatorLap measures the buffered Laplace draw — the
+// per-tick hot path every mechanism rides on (paper §VII-C) — across buffer
+// sizes, to show the amortised cost of the ring buffer versus refills.
+func BenchmarkNoiseCalculatorLap(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("buf=%d", size), func(b *testing.B) {
+			c := NewNoiseCalculator(size, rng.New(1).Split("bench"))
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += c.Lap(2.0)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMechanismNoise measures the per-tick noise draw of each
+// mechanism end to end, including the D* observation bookkeeping.
+func BenchmarkMechanismNoise(b *testing.B) {
+	b.Run("laplace", func(b *testing.B) {
+		m, err := NewLaplaceMechanism(1.0, 1.0, rng.New(2).Split("bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += m.Noise(int64(i), 100)
+		}
+		_ = sink
+	})
+	b.Run("dstar", func(b *testing.B) {
+		m, err := NewDStarMechanism(1.0, 1.0, rng.New(3).Split("bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			t := int64(i + 1)
+			v := m.Noise(t, 100)
+			m.Commit(t, v)
+			sink += v
+		}
+		_ = sink
+	})
+}

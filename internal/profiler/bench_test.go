@@ -1,0 +1,38 @@
+package profiler
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/repro/aegis/internal/hpc"
+)
+
+// BenchmarkRank measures profiler ranking at several worker counts; the
+// serial (parallelism=1) case is the baseline the parallel cases are
+// compared against in EXPERIMENTS.md.
+func BenchmarkRank(b *testing.B) {
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	events := []*hpc.Event{
+		cat.MustByName("RETIRED_UOPS"),
+		cat.MustByName("LS_DISPATCH"),
+		cat.MustByName("DATA_CACHE_REFILLS_FROM_SYSTEM"),
+		cat.MustByName("MAB_ALLOCATION_BY_PIPE"),
+		cat.MustByName("HW_CACHE_L1D:WRITE"),
+		cat.MustByName("RETIRED_INSTRUCTIONS"),
+	}
+	app := smallWebsiteApp()
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := smallConfig(1)
+			cfg.Parallelism = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := New(cat, cfg)
+				if _, err := p.Rank(app, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

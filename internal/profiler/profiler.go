@@ -16,6 +16,7 @@
 package profiler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,7 @@ import (
 
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/parallel"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/stats"
@@ -77,6 +79,12 @@ type Config struct {
 	// World configures the template server; zero value uses the AMD
 	// default testbed.
 	World sev.Config
+	// Parallelism bounds the worker count of trace collection and event
+	// scoring; <= 0 uses GOMAXPROCS. Results are byte-identical at any
+	// value: every shard derives its RNG stream from (Seed, secret,
+	// repeat) or scores pure per-event statistics, and shard outputs
+	// merge in input order.
+	Parallelism int
 }
 
 // DefaultConfig returns evaluation-scale defaults (scaled down ~10x from
@@ -221,20 +229,41 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 		TotalEvents:      p.catalog.Size(),
 		RemainingPerType: make(map[hpc.EventType]int),
 	}
+	// Each repeat's idle and active measurements are independent shards:
+	// they launch their own template VM and derive their RNG stream from
+	// (Seed, repeat, phase), so the fan-out collects exactly the traces
+	// the serial loop would. A repeat's "changed" verdicts are OR-ed into
+	// the final set, which is commutative — merge order cannot matter.
+	type warmShard struct {
+		rep  int
+		idle bool
+	}
+	shards := make([]warmShard, 0, 2*p.cfg.WarmupRepeats)
+	for rep := 0; rep < p.cfg.WarmupRepeats; rep++ {
+		shards = append(shards, warmShard{rep: rep, idle: true}, warmShard{rep: rep, idle: false})
+	}
+	pool := parallel.NewPool("profiler.warmup", p.cfg.Parallelism)
+	sums, err := parallel.Map(context.Background(), pool, len(shards),
+		func(_ context.Context, i int) ([]float64, error) {
+			sh := shards[i]
+			stream := p.root.SplitN("warmup", sh.rep)
+			secret := secrets[sh.rep%len(secrets)]
+			label := "active"
+			if sh.idle {
+				label = "idle"
+			}
+			trace, err := p.rawTrace(app, secret, p.cfg.WarmupTicks, stream.Split(label), sh.idle)
+			if err != nil {
+				return nil, err
+			}
+			return sumVec(trace), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	changed := make([]bool, p.catalog.Size())
 	for rep := 0; rep < p.cfg.WarmupRepeats; rep++ {
-		stream := p.root.SplitN("warmup", rep)
-		secret := secrets[rep%len(secrets)]
-		idleTrace, err := p.rawTrace(app, secret, p.cfg.WarmupTicks, stream.Split("idle"), true)
-		if err != nil {
-			return nil, err
-		}
-		activeTrace, err := p.rawTrace(app, secret, p.cfg.WarmupTicks, stream.Split("active"), false)
-		if err != nil {
-			return nil, err
-		}
-		idleSum := sumVec(idleTrace)
-		activeSum := sumVec(activeTrace)
+		idleSum, activeSum := sums[2*rep], sums[2*rep+1]
 		for i, e := range p.catalog.Events {
 			if changed[i] {
 				continue
@@ -275,6 +304,83 @@ type RankedEvent struct {
 	Classes []stats.ClassModel
 }
 
+// rawSet is the collected leakage-trace matrix of one secret.
+type rawSet struct {
+	secret string
+	traces [][][]float64 // repeat -> tick -> signals
+}
+
+// scoreEvent reduces one event's traces to a PCA feature, fits per-secret
+// Gaussians and scores the mutual information. It is a pure function of
+// (event, raws) — no RNG, no shared mutable state — which is what lets
+// Rank score events concurrently without changing any score. A nil return
+// marks a degenerate, unrankable event.
+func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEvent {
+	var scoreStart time.Time
+	if timed {
+		scoreStart = time.Now()
+		defer func() {
+			hMIScoreSeconds.Observe(time.Since(scoreStart).Seconds())
+		}()
+	}
+	// Build per-trace event time series.
+	all := make([][]float64, 0, len(raws)*p.cfg.RankRepeats)
+	bySecret := make([][][]float64, len(raws))
+	for si := range raws {
+		for _, raw := range raws[si].traces {
+			series := make([]float64, len(raw))
+			for t, sig := range raw {
+				series[t] = e.Value(sig)
+			}
+			all = append(all, series)
+			bySecret[si] = append(bySecret[si], series)
+		}
+	}
+	// Feature extraction over the full trace population: the paper's
+	// PCA first component, or the raw sum for the ablation.
+	var pca *stats.PCA
+	if !p.cfg.RawMeanFeature {
+		var err error
+		pca, err = stats.FitPCA(all, 1)
+		if err != nil {
+			mRankDegenerate.Inc()
+			return nil // degenerate event; cannot be ranked
+		}
+	}
+	classes := make([]stats.ClassModel, 0, len(raws))
+	for si := range raws {
+		feats := make([]float64, 0, len(bySecret[si]))
+		for _, series := range bySecret[si] {
+			var f float64
+			if pca != nil {
+				var err error
+				f, err = pca.FirstComponent(series)
+				if err != nil {
+					mRankDegenerate.Inc()
+					return nil
+				}
+			} else {
+				for _, v := range series {
+					f += v
+				}
+			}
+			feats = append(feats, f)
+		}
+		g, err := stats.FitGaussian(feats)
+		if err != nil {
+			mRankDegenerate.Inc()
+			return nil
+		}
+		classes = append(classes, stats.ClassModel{Secret: raws[si].secret, Dist: g})
+	}
+	mi, err := stats.MutualInformation(classes, p.cfg.QuadratureSteps)
+	if err != nil {
+		mRankDegenerate.Inc()
+		return nil
+	}
+	return &RankedEvent{Event: e, MI: mi, Classes: classes}
+}
+
 // Rank scores each event's vulnerability for the application and returns
 // the events sorted by descending mutual information (paper §V-B "Event
 // ranking").
@@ -291,111 +397,52 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	timed := telemetry.Enabled()
 
 	// Collect raw traces once per (secret, repeat); every event formula is
-	// evaluated on the same traces.
-	type rawSet struct {
-		secret string
-		traces [][][]float64 // repeat -> tick -> signals
-	}
+	// evaluated on the same traces. The (secret, repeat) matrix fans out
+	// across workers: each shard launches its own template VM and derives
+	// its RNG stream from (Seed, secret, repeat) — the doc comment on
+	// rng.Source forbids sharing a stream — and the shard outputs land in
+	// (secret, repeat) order, so the matrix is identical to a serial
+	// collection.
 	var traceStart time.Time
 	if timed {
 		traceStart = time.Now()
 	}
+	pool := parallel.NewPool("profiler.rank", p.cfg.Parallelism)
+	reps := p.cfg.RankRepeats
+	flat, err := parallel.Map(context.Background(), pool, len(secrets)*reps,
+		func(_ context.Context, i int) ([][]float64, error) {
+			secret := secrets[i/reps]
+			stream := p.root.SplitN("rank/"+secret, i%reps)
+			return p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
+		})
+	if err != nil {
+		return nil, err
+	}
 	raws := make([]rawSet, len(secrets))
 	for si, secret := range secrets {
 		raws[si].secret = secret
-		for rep := 0; rep < p.cfg.RankRepeats; rep++ {
-			stream := p.root.SplitN("rank/"+secret, rep)
-			tr, err := p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
-			if err != nil {
-				return nil, err
-			}
-			raws[si].traces = append(raws[si].traces, tr)
-		}
+		raws[si].traces = flat[si*reps : (si+1)*reps]
 	}
 	if timed {
 		hTraceSeconds.Observe(time.Since(traceStart).Seconds())
 	}
 
+	// Score the events concurrently: PCA + MI over the shared raw traces
+	// is a pure per-event computation, so shards stay deterministic and
+	// merge in input-event order (nil = degenerate, unrankable).
 	scoreSpan := span.Child("profiler.rank.score")
+	scored, err := parallel.Map(context.Background(), pool, len(events),
+		func(_ context.Context, i int) (*RankedEvent, error) {
+			return p.scoreEvent(events[i], raws, timed), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	ranked := make([]RankedEvent, 0, len(events))
-	for _, e := range events {
-		var scoreStart time.Time
-		if timed {
-			scoreStart = time.Now()
+	for _, re := range scored {
+		if re != nil {
+			ranked = append(ranked, *re)
 		}
-		observeScore := func() {
-			if timed {
-				hMIScoreSeconds.Observe(time.Since(scoreStart).Seconds())
-			}
-		}
-		// Build per-trace event time series.
-		all := make([][]float64, 0, len(secrets)*p.cfg.RankRepeats)
-		bySecret := make([][][]float64, len(secrets))
-		for si := range raws {
-			for _, raw := range raws[si].traces {
-				series := make([]float64, len(raw))
-				for t, sig := range raw {
-					series[t] = e.Value(sig)
-				}
-				all = append(all, series)
-				bySecret[si] = append(bySecret[si], series)
-			}
-		}
-		// Feature extraction over the full trace population: the paper's
-		// PCA first component, or the raw sum for the ablation.
-		var pca *stats.PCA
-		if !p.cfg.RawMeanFeature {
-			var err error
-			pca, err = stats.FitPCA(all, 1)
-			if err != nil {
-				mRankDegenerate.Inc()
-				observeScore()
-				continue // degenerate event; cannot be ranked
-			}
-		}
-		classes := make([]stats.ClassModel, 0, len(secrets))
-		usable := true
-		for si := range raws {
-			feats := make([]float64, 0, len(bySecret[si]))
-			for _, series := range bySecret[si] {
-				var f float64
-				if pca != nil {
-					var err error
-					f, err = pca.FirstComponent(series)
-					if err != nil {
-						usable = false
-						break
-					}
-				} else {
-					for _, v := range series {
-						f += v
-					}
-				}
-				feats = append(feats, f)
-			}
-			if !usable {
-				break
-			}
-			g, err := stats.FitGaussian(feats)
-			if err != nil {
-				usable = false
-				break
-			}
-			classes = append(classes, stats.ClassModel{Secret: raws[si].secret, Dist: g})
-		}
-		if !usable {
-			mRankDegenerate.Inc()
-			observeScore()
-			continue
-		}
-		mi, err := stats.MutualInformation(classes, p.cfg.QuadratureSteps)
-		if err != nil {
-			mRankDegenerate.Inc()
-			observeScore()
-			continue
-		}
-		ranked = append(ranked, RankedEvent{Event: e, MI: mi, Classes: classes})
-		observeScore()
 	}
 	scoreSpan.End()
 	mRankedEvents.Add(float64(len(ranked)))
@@ -454,14 +501,20 @@ func (p *Profiler) DistributionFor(app workload.App, secret string, event *hpc.E
 	if repeats <= 0 {
 		repeats = p.cfg.RankRepeats
 	}
-	samples := make([]float64, 0, repeats)
-	for rep := 0; rep < repeats; rep++ {
-		stream := p.root.SplitN("dist/"+secret, rep)
-		raw, err := p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, event.Value(sumVec(raw)))
+	// Repeats are independent shards (per-repeat streams, private VMs) and
+	// merge in repeat order, like Rank's trace collection.
+	pool := parallel.NewPool("profiler.distribution", p.cfg.Parallelism)
+	samples, err := parallel.Map(context.Background(), pool, repeats,
+		func(_ context.Context, rep int) (float64, error) {
+			stream := p.root.SplitN("dist/"+secret, rep)
+			raw, err := p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
+			if err != nil {
+				return 0, err
+			}
+			return event.Value(sumVec(raw)), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	fit, err := stats.FitGaussian(samples)
 	if err != nil {

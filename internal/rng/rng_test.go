@@ -1,7 +1,9 @@
 package rng
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -42,6 +44,74 @@ func TestSplitOrderIndependence(t *testing.T) {
 		if a1.Uint64() != a2.Uint64() {
 			t.Fatalf("split %q depends on sibling split order", "a")
 		}
+	}
+}
+
+func TestNewStreamMatchesSplitChain(t *testing.T) {
+	a := NewStream(42, "fuzzer", "event/X", "bench")
+	b := New(42).Split("fuzzer").Split("event/X").Split("bench")
+	for i := 0; i < 200; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("NewStream diverged from Split chain at step %d", i)
+		}
+	}
+}
+
+func TestNewStreamOrderInsensitive(t *testing.T) {
+	// Deriving sibling streams in any order, from any goroutine, yields the
+	// same values: the derivation is a pure function of (seed, labels).
+	want := make([]uint64, 8)
+	for i := range want {
+		want[i] = NewStream(7, "rank", fmt.Sprintf("shard-%d", i)).Uint64()
+	}
+	// Reverse derivation order.
+	for i := len(want) - 1; i >= 0; i-- {
+		if got := NewStream(7, "rank", fmt.Sprintf("shard-%d", i)).Uint64(); got != want[i] {
+			t.Fatalf("shard %d changed when derived in reverse order", i)
+		}
+	}
+	// Concurrent derivation from racing goroutines.
+	var wg sync.WaitGroup
+	got := make([]uint64, len(want))
+	for i := range want {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = NewStream(7, "rank", fmt.Sprintf("shard-%d", i)).Uint64()
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d changed when derived concurrently", i)
+		}
+	}
+}
+
+func TestNewStreamIndependentStreams(t *testing.T) {
+	a := NewStream(5, "pipeline", "worker-0")
+	b := NewStream(5, "pipeline", "worker-1")
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("sibling worker streams collided %d times", matches)
+	}
+	if NewStream(11).Uint64() != New(11).Uint64() {
+		t.Fatal("NewStream with no labels is not New")
+	}
+}
+
+func TestSplitNOrderInsensitive(t *testing.T) {
+	p := New(21)
+	first := p.SplitN("shard", 3).Uint64()
+	_ = p.SplitN("shard", 9).Uint64()
+	_ = p.Split("other").Uint64()
+	if got := p.SplitN("shard", 3).Uint64(); got != first {
+		t.Fatal("SplitN depends on sibling derivation order")
 	}
 }
 
