@@ -6,11 +6,15 @@ BENCH_JSON ?= BENCH_$(shell date +%F).json
 BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_ARGS ?= -scale eval -seed 1 -only table2,table3 -parallelism 1,4 -telemetry=false
 
-.PHONY: build test vet race fmt-check check bench bench-json bench-check
+# Native Go fuzzing budget per target; `make check` runs a short smoke pass,
+# raise FUZZTIME for a longer campaign (e.g. make fuzz FUZZTIME=60s).
+FUZZTIME ?= 5s
+
+.PHONY: build test vet race fmt-check check fuzz bench bench-json bench-check
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
-check: build vet fmt-check test race
+check: build vet fmt-check test race fuzz
 
 build:
 	$(GO) build ./...
@@ -21,14 +25,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Race instrumentation slows the end-to-end experiment suites well past
+# Go's default 10-minute per-package timeout; give them headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Coverage-guided fuzzing of the DP mechanisms and the faulted tick loop.
+fuzz:
+	$(GO) test ./internal/obfuscator/ -run='^$$' -fuzz=FuzzMechanismDraw -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/faultinject/proptest/ -run='^$$' -fuzz=FuzzTickUnderFaults -fuzztime $(FUZZTIME)
 
 bench: bench-json
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/fuzzer"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
@@ -97,6 +98,11 @@ type Config struct {
 	// (profiling and fuzzing); <= 0 means GOMAXPROCS. Results are
 	// byte-identical at any value — only wall-clock time changes.
 	Parallelism int
+	// Faults injects deterministic substrate faults (PMU read errors,
+	// counter saturation, preemption bursts, mid-gadget interrupts, draw
+	// extremes) into the fuzzer, the SEV world and the deployed
+	// obfuscators. The zero value is the healthy substrate.
+	Faults faultinject.Config
 }
 
 // Framework is a configured Aegis instance.
@@ -104,6 +110,7 @@ type Framework struct {
 	cfg     Config
 	catalog *hpc.Catalog
 	legal   []isa.Variant
+	faults  *faultinject.Injector
 }
 
 // New builds a framework for the configured processor.
@@ -144,11 +151,21 @@ func New(cfg Config) (*Framework, error) {
 	telemetry.G("aegis_config_sensitivity").Set(cfg.Sensitivity)
 	telemetry.G("aegis_catalog_events").Set(float64(catalog.Size()))
 	telemetry.G("aegis_legal_instructions").Set(float64(len(clean.Legal)))
-	return &Framework{cfg: cfg, catalog: catalog, legal: clean.Legal}, nil
+	return &Framework{
+		cfg:     cfg,
+		catalog: catalog,
+		legal:   clean.Legal,
+		faults:  faultinject.New(cfg.Faults),
+	}, nil
 }
 
 // Catalog returns the processor's HPC event catalog.
 func (f *Framework) Catalog() *hpc.Catalog { return f.catalog }
+
+// FaultInjector returns the framework's fault injector, or nil when the
+// substrate is healthy. Attach it to an sev.World with World.SetFaults to
+// expose deployed defenses to preemption and mid-gadget interrupts.
+func (f *Framework) FaultInjector() *faultinject.Injector { return f.faults }
 
 // LegalInstructions returns the number of instruction variants that
 // survive ISA cleanup on this processor.
@@ -242,6 +259,7 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	fcfg := fuzzer.DefaultConfig(f.cfg.Seed)
 	fcfg.CandidatesPerEvent = f.cfg.FuzzCandidates
 	fcfg.Parallelism = f.cfg.Parallelism
+	fcfg.Faults = f.cfg.Faults
 	fz, err := fuzzer.New(f.legal, fcfg)
 	if err != nil {
 		return nil, err
@@ -322,6 +340,7 @@ func (f *Framework) NewDefense(gs *GadgetSet, mechanism string, param float64) (
 			RefEvent:  gs.refEvent,
 			ClipBound: cfg.ClipBound,
 			Seed:      seed,
+			Faults:    cfg.Faults,
 		})
 	}, nil
 }
@@ -388,6 +407,7 @@ func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon fl
 	if err != nil {
 		return nil, err
 	}
+	multi.SetFaults(f.faults)
 	if err := vm.AddProcess(vcpu, multi); err != nil {
 		return nil, err
 	}

@@ -200,6 +200,13 @@ func jobs() []job {
 		{"ablation-buffer", func(sc experiment.Scale) (fmt.Stringer, int, error) {
 			return wrap(experiment.AblationNoiseBuffer(1<<20).Render(), nil)
 		}},
+		{"robustness", func(sc experiment.Scale) (fmt.Stringer, int, error) {
+			res, err := experiment.Robustness(sc)
+			if err != nil {
+				return nil, 0, err
+			}
+			return wrap(res.Render(), nil)
+		}},
 	}
 }
 
@@ -265,6 +272,7 @@ func run(args []string) error {
 		benchOut = fs.String("bench-json", "", "write wall-clock/throughput JSON to this path (implies serial jobs)")
 		baseline = fs.String("bench-check", "", "compare a fresh run against this baseline JSON; fail on >20% regression")
 		serial   = fs.Bool("serial", false, "run experiments one at a time even when not benchmarking")
+		faults   = fs.String("faults", "", "fault preset for the robustness experiment: off | light | heavy (empty = sweep all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -284,6 +292,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
+	sc.FaultPreset = *faults
 	parallelisms, err := parseParallelismList(*para)
 	if err != nil {
 		return err

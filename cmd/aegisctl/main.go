@@ -18,6 +18,8 @@ import (
 
 	aegis "github.com/repro/aegis"
 	"github.com/repro/aegis/internal/experiment"
+	"github.com/repro/aegis/internal/faultinject"
+	"github.com/repro/aegis/internal/obfuscator"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/telemetry"
@@ -44,6 +46,7 @@ func run(args []string) error {
 		ticks      = fs.Int("ticks", 200, "protected run length in ticks")
 		advise     = fs.Bool("advise", false, "auto-select epsilon: largest budget pushing a website-fingerprinting attacker to <= -target accuracy")
 		target     = fs.Float64("target", 0.25, "target attack accuracy for -advise")
+		faultsFlag = fs.String("faults", faultinject.PresetOff, "substrate fault preset: off | light | heavy (deterministic, seed-derived)")
 		telemFmt   = fs.String("telemetry", "summary", "telemetry dump after the run: summary | json | prom | none")
 		verbose    = fs.Bool("v", false, "stream structured telemetry events to stderr")
 	)
@@ -63,15 +66,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	faults, err := faultinject.Preset(*faultsFlag, *seed)
+	if err != nil {
+		return err
+	}
 
 	fw, err := aegis.New(aegis.Config{
 		Seed:              *seed,
 		FuzzCandidates:    *candidates,
 		ProfileTraceTicks: 80,
 		ProfileRepeats:    4,
+		Faults:            faults,
 	})
 	if err != nil {
 		return err
+	}
+	if faults.Enabled() {
+		fmt.Printf("fault injection: %s preset (seed-derived schedules)\n", *faultsFlag)
 	}
 	fmt.Printf("platform: %s (%d legal instruction variants)\n",
 		fw.Catalog().Processor, fw.LegalInstructions())
@@ -120,6 +131,7 @@ func run(args []string) error {
 	fmt.Printf("\n[3/3] deploying %s obfuscator (param %g) into a SEV guest...\n",
 		*mechanism, chosenEps)
 	world := sev.NewWorld(sev.DefaultConfig(*seed))
+	world.SetFaults(fw.FaultInjector())
 	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
 	if err != nil {
 		return err
@@ -156,6 +168,23 @@ func run(args []string) error {
 		obf.InjectedReps(), obf.InjectedCounts(), obf.SaturationRate()*100)
 	fmt.Printf("completed %d/%d application jobs\n",
 		len(runner.Timings()), len(app.Secrets()))
+
+	report := obf.Report()
+	if report.Full() {
+		fmt.Println("protection: full (no degraded ticks, no substrate faults)")
+	} else {
+		fmt.Printf("protection: DEGRADED — %d/%d ticks degraded, %d retries, %d counter re-arms, %d mechanism fallbacks, %d faults seen\n",
+			report.DegradedTicks, report.Ticks, report.Retries,
+			report.CounterRearms, report.MechanismFallbacks, report.FaultsSeen)
+		for _, reason := range obfuscator.DegradeReasons {
+			if n := report.DegradedByReason[reason]; n > 0 {
+				fmt.Printf("  degraded[%s] = %d\n", reason, n)
+			}
+		}
+	}
+	if in := fw.FaultInjector(); in != nil {
+		fmt.Printf("faults injected across the stack: %d\n", in.Total())
+	}
 
 	switch *telemFmt {
 	case "summary":

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/aegis/internal/faultinject"
+)
+
+func TestRobustnessSweepsPresets(t *testing.T) {
+	res, err := Robustness(TestScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per preset", len(res.Rows))
+	}
+	byPreset := map[string]RobustnessRow{}
+	for _, row := range res.Rows {
+		byPreset[row.Preset] = row
+		if row.Ticks <= 0 {
+			t.Errorf("%s: obfuscator never ticked", row.Preset)
+		}
+		// Funnel: every tick lands in exactly one outcome bucket.
+		if got := row.InjectedTicks + row.ZeroDraw + row.NoInjection + row.Degraded; got != row.Ticks {
+			t.Errorf("%s: outcome funnel %d != ticks %d", row.Preset, got, row.Ticks)
+		}
+	}
+	off := byPreset[faultinject.PresetOff]
+	if !off.Full || off.FaultsTotal != 0 || off.Degraded != 0 {
+		t.Errorf("healthy substrate reported degradation: %+v", off)
+	}
+	for _, preset := range []string{faultinject.PresetLight, faultinject.PresetHeavy} {
+		row := byPreset[preset]
+		if row.FaultsTotal == 0 {
+			t.Errorf("%s: no faults injected", preset)
+		}
+		if row.Full {
+			t.Errorf("%s: full protection claimed under injected faults", preset)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"preset", "degraded", "off", "light", "heavy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRobustnessSinglePreset(t *testing.T) {
+	sc := TestScale(2)
+	sc.FaultPreset = faultinject.PresetHeavy
+	res, err := Robustness(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want off + heavy", len(res.Rows))
+	}
+	if res.Rows[0].Preset != faultinject.PresetOff || res.Rows[1].Preset != faultinject.PresetHeavy {
+		t.Fatalf("presets = %s, %s", res.Rows[0].Preset, res.Rows[1].Preset)
+	}
+}

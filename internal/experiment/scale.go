@@ -43,6 +43,11 @@ type Scale struct {
 	// pipelines; <= 0 means GOMAXPROCS. Results are byte-identical at any
 	// value — only wall-clock time changes.
 	Parallelism int
+	// FaultPreset names the substrate fault intensity for the robustness
+	// experiment ("off", "light", "heavy"); empty means the experiment
+	// sweeps all presets. Other experiments run on a healthy substrate
+	// regardless, so recorded EXPERIMENTS.md numbers are unaffected.
+	FaultPreset string
 	// Seed drives everything.
 	Seed uint64
 }

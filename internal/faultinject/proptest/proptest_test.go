@@ -1,0 +1,123 @@
+package proptest
+
+import (
+	"runtime"
+	"testing"
+
+	aegis "github.com/repro/aegis"
+	"github.com/repro/aegis/internal/faultinject"
+)
+
+func newHarness(t testing.TB) *Harness {
+	t.Helper()
+	h, err := NewHarness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestPropertyHarness drives 108 seeded fault schedules through full
+// Protect/ProtectMulti deployments. Every schedule is checked against the
+// harness invariants; every ninth is re-run to assert byte-identical
+// artifacts for identical (seed, schedule, parallelism).
+func TestPropertyHarness(t *testing.T) {
+	h := newHarness(t)
+	schedules := Schedules(108, 1000)
+	if len(schedules) < 100 {
+		t.Fatalf("only %d schedules", len(schedules))
+	}
+	presets := map[string]int{}
+	for i, s := range schedules {
+		a, err := h.Run(s)
+		if err != nil {
+			t.Fatalf("schedule %v: %v", s, err)
+		}
+		if err := Check(s, a); err != nil {
+			t.Error(err)
+		}
+		presets[s.Preset]++
+		if i%9 == 0 {
+			b, err := h.Run(s)
+			if err != nil {
+				t.Fatalf("schedule %v replay: %v", s, err)
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Errorf("schedule %v not replayable:\n%s\n%s", s, a.Fingerprint(), b.Fingerprint())
+			}
+		}
+	}
+	for _, p := range []string{faultinject.PresetOff, faultinject.PresetLight, faultinject.PresetHeavy} {
+		if presets[p] == 0 {
+			t.Errorf("no schedule exercised preset %q", p)
+		}
+	}
+}
+
+// TestParallelismInvariance re-runs one faulted schedule (including the
+// offline fuzzing stage) at parallelism 1, 4 and GOMAXPROCS; the fault
+// streams are label-derived, so the artifacts and the fuzzed gadget set
+// must be identical at every width.
+func TestParallelismInvariance(t *testing.T) {
+	type shape struct {
+		cover, segment, tried int
+		fingerprint           string
+	}
+	run := func(par int) shape {
+		faults, err := faultinject.Preset(faultinject.PresetLight, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := aegis.New(aegis.Config{
+			Seed: 5, FuzzCandidates: 150, Parallelism: par, Faults: faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := fw.Fuzz(EventNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &Harness{gs: gs}
+		s := Schedule{Seed: 5, Preset: faultinject.PresetHeavy, Ticks: 80, Parallelism: par}
+		a, err := h.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(s, a); err != nil {
+			t.Error(err)
+		}
+		return shape{gs.CoverSize, gs.SegmentLen, gs.GadgetsTried, a.Fingerprint()}
+	}
+	base := run(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := run(par); got != base {
+			t.Errorf("parallelism %d diverged:\n%+v\n%+v", par, got, base)
+		}
+	}
+}
+
+// FuzzTickUnderFaults is a native fuzz target: arbitrary (seed, preset,
+// ticks) triples must satisfy the harness invariants and never panic.
+func FuzzTickUnderFaults(f *testing.F) {
+	h := newHarness(f)
+	f.Add(uint64(1), byte(0), uint8(40))
+	f.Add(uint64(99), byte(1), uint8(80))
+	f.Add(uint64(7), byte(2), uint8(120))
+	presets := []string{faultinject.PresetOff, faultinject.PresetLight, faultinject.PresetHeavy}
+	f.Fuzz(func(t *testing.T, seed uint64, preset byte, ticks uint8) {
+		s := Schedule{
+			Seed:        seed,
+			Preset:      presets[int(preset)%len(presets)],
+			Ticks:       int(ticks%120) + 10,
+			Parallelism: 1,
+		}
+		a, err := h.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(s, a); err != nil {
+			t.Error(err)
+		}
+	})
+}

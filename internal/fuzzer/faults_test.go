@@ -1,0 +1,70 @@
+package fuzzer
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/repro/aegis/internal/faultinject"
+	"github.com/repro/aegis/internal/hpc"
+)
+
+func TestFuzzSkipsEventsUnderPersistentReadFaults(t *testing.T) {
+	// Every RDPMC read fails: each event's search errors, gets skipped
+	// with a wrapped ErrReadFault, and the campaign returns nil result
+	// only because every event failed.
+	cfg := smallConfig(1)
+	cfg.Faults = faultinject.Config{Seed: 1, PMUReadErrorRate: 1}
+	f, err := New(legalAMD(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	events := []*hpc.Event{cat.MustByName("RETIRED_UOPS"), cat.MustByName("LS_DISPATCH")}
+	res, err := f.Fuzz(events)
+	if err == nil {
+		t.Fatal("campaign under total read faults reported success")
+	}
+	if !errors.Is(err, hpc.ErrReadFault) {
+		t.Errorf("campaign error %v does not wrap ErrReadFault", err)
+	}
+	if res != nil {
+		t.Errorf("all-failed campaign returned a result: %+v", res.Skipped)
+	}
+}
+
+func TestFuzzSurvivesLightFaults(t *testing.T) {
+	// A lightly flaky substrate: occasional read faults skip some events
+	// but the campaign still returns partial (or complete) results, and
+	// skipped events are recorded with their cause.
+	cfg := smallConfig(2)
+	faults, err := faultinject.Preset(faultinject.PresetLight, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = faults
+	f, err := New(legalAMD(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	events := []*hpc.Event{
+		cat.MustByName("RETIRED_UOPS"), cat.MustByName("LS_DISPATCH"),
+		cat.MustByName("MAB_ALLOCATION_BY_PIPE"),
+	}
+	res, err := f.Fuzz(events)
+	if res == nil {
+		t.Fatalf("light faults killed the whole campaign: %v", err)
+	}
+	if len(res.Skipped)+len(res.PerEvent) != len(events) {
+		t.Errorf("skipped %d + searched %d != %d events",
+			len(res.Skipped), len(res.PerEvent), len(events))
+	}
+	for _, sk := range res.Skipped {
+		if sk.Err == nil {
+			t.Errorf("skipped event %s has nil cause", sk.Event)
+		}
+	}
+	if err != nil && len(res.Skipped) == 0 {
+		t.Errorf("campaign errored (%v) without recording skips", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
@@ -43,6 +44,8 @@ var (
 	mRejectedReorder = telemetry.C("fuzzer_candidates_rejected_total",
 		telemetry.L("stage", "reordering"))
 	mEventsSkipped  = telemetry.C("fuzzer_events_skipped_total")
+	mDroppedByFault = telemetry.C("fuzzer_candidates_dropped_total",
+		telemetry.L("reason", "read-fault"))
 	mMemoHits       = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "hit"))
 	mMemoMisses     = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "miss"))
 	mPrefiltered    = telemetry.C("fuzzer_candidates_prefiltered_total")
@@ -124,6 +127,11 @@ type Config struct {
 	// event derives its RNG streams and measurement benches from
 	// (Seed, event name) alone, never from shared mutable state.
 	Parallelism int
+	// Faults injects substrate faults (PMU read errors, counter
+	// saturation) into the measurement benches. Schedules are derived per
+	// (event, bench) label, so they obey the same parallelism-independence
+	// contract as the RNG streams. The zero value is the healthy substrate.
+	Faults faultinject.Config
 }
 
 // DefaultConfig returns evaluation defaults.
@@ -187,10 +195,11 @@ func (r *Result) GadgetsFor(event string) []Finding {
 // per-event fan-out of Fuzz: its fields are read-only after New except the
 // screening memo, which is lock-protected and caches only pure values.
 type Fuzzer struct {
-	legal []isa.Variant
-	cfg   Config
-	root  *rng.Source
-	memo  *screenMemo
+	legal  []isa.Variant
+	cfg    Config
+	root   *rng.Source
+	memo   *screenMemo
+	faults *faultinject.Injector
 }
 
 // gadgetSig is a gadget's noise-free execution signature: the raw counter
@@ -250,8 +259,10 @@ func (f *Fuzzer) signature(g Gadget) (gadgetSig, error) {
 	}
 	mMemoMisses.Inc()
 	// Compute outside the lock: the value is pure, so a racing duplicate
-	// computation stores an identical signature.
-	b := f.newBench(nil)
+	// computation stores an identical signature. Signatures stay
+	// fault-free (nil handle) even when the campaign injects faults —
+	// otherwise cache hits would make results scheduling-dependent.
+	b := f.newBench(nil, nil)
 	before := b.core.Counters()
 	if err := b.core.ExecuteSequence(g.Sequence(), b.ctx); err != nil {
 		return gadgetSig{}, err
@@ -306,10 +317,11 @@ func New(legal []isa.Variant, cfg Config) (*Fuzzer, error) {
 		cfg.Core.InterruptRate = 0
 	}
 	return &Fuzzer{
-		legal: append([]isa.Variant(nil), legal...),
-		cfg:   cfg,
-		root:  rng.New(cfg.Seed).Split("fuzzer"),
-		memo:  &screenMemo{},
+		legal:  append([]isa.Variant(nil), legal...),
+		cfg:    cfg,
+		root:   rng.New(cfg.Seed).Split("fuzzer"),
+		memo:   &screenMemo{},
+		faults: faultinject.New(cfg.Faults),
 	}, nil
 }
 
@@ -321,16 +333,18 @@ type bench struct {
 	pmu  *hpc.PMU
 }
 
-func (f *Fuzzer) newBench(noise *rng.Source) *bench {
+func (f *Fuzzer) newBench(noise *rng.Source, faults *faultinject.Handle) *bench {
 	core := microarch.NewCore(0, f.cfg.Core, nil)
 	var pmuNoise *rng.Source
 	if f.cfg.MeasureNoise {
 		pmuNoise = noise
 	}
+	pmu := hpc.NewPMU(core, pmuNoise)
+	pmu.SetFaults(faults)
 	return &bench{
 		core: core,
 		ctx:  microarch.NewScratchContext(0x1000_0000),
-		pmu:  hpc.NewPMU(core, pmuNoise),
+		pmu:  pmu,
 	}
 }
 
@@ -437,20 +451,26 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 		}
 	}()
 	r := f.root.Split("event/" + event.Name)
-	b := f.newBench(r.Split("bench"))
+	b := f.newBench(r.Split("bench"), f.faults.Handle("fuzzer", event.Name, "bench"))
 
 	type candidate struct {
 		g     Gadget
 		delta float64
 	}
 	var reported []candidate
-	tried := 0
+	tried, dropped, measured := 0, 0, 0
 
 	// Generation + execution: sample candidate pairs and keep the ones
 	// whose median delta indicates a perturbation. The cross-event memo
 	// prefilters candidates whose noise-free signature shows no effect on
 	// this event, skipping their repeated noisy measurements; the
 	// signature is pure, so the skip pattern is scheduling-independent.
+	//
+	// Degradation policy: a candidate whose measurement hits an injected
+	// RDPMC read fault is dropped (and counted), not fatal — a real
+	// campaign discards the bad sample and keeps fuzzing. Only when every
+	// measurement fails is the bench declared unusable and the event
+	// skipped.
 	for i := 0; i < f.cfg.CandidatesPerEvent; i++ {
 		g := Gadget{
 			Reset:   f.legal[r.Intn(len(f.legal))],
@@ -465,8 +485,14 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 			mPrefiltered.Inc()
 			continue
 		}
+		measured++
 		med, err := b.medianDelta(event, g.Sequence(), 3)
 		if err != nil {
+			if errors.Is(err, hpc.ErrReadFault) {
+				dropped++
+				mDroppedByFault.Inc()
+				continue
+			}
 			return nil, tried, err
 		}
 		if med >= f.cfg.MinDelta {
@@ -475,6 +501,9 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	}
 	mCandidatesTried.Add(float64(tried))
 	mCandidatesScreened.Add(float64(len(reported)))
+	if measured > 0 && dropped == measured {
+		return nil, tried, fmt.Errorf("fuzzer: every candidate measurement failed: %w", hpc.ErrReadFault)
+	}
 
 	if f.cfg.DisableConfirmation {
 		out := make([]Finding, 0, len(reported))
@@ -485,11 +514,18 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	}
 
 	// Confirmation pass 1: repeated triggers on a fresh bench.
-	confirmBench := f.newBench(r.Split("confirm"))
+	confirmBench := f.newBench(r.Split("confirm"), f.faults.Handle("fuzzer", event.Name, "confirm"))
 	var confirmed []candidate
 	for _, c := range reported {
 		ok, err := confirmBench.repeatedTriggers(event, c.g, f.cfg)
 		if err != nil {
+			// A read fault mid-confirmation rejects the candidate: we
+			// could not confirm it, so it must not ship.
+			if errors.Is(err, hpc.ErrReadFault) {
+				mDroppedByFault.Inc()
+				mRejectedTriggers.Inc()
+				continue
+			}
 			return nil, tried, err
 		}
 		if ok {
@@ -502,13 +538,18 @@ func (f *Fuzzer) FuzzEvent(event *hpc.Event) ([]Finding, int, error) {
 	// Confirmation pass 2: gadget reordering. Re-run the confirmed set in
 	// a random order on a fresh bench; drop gadgets whose delta deviates,
 	// which indicates dependence on inherited dirty state.
-	reorderBench := f.newBench(r.Split("reorder"))
+	reorderBench := f.newBench(r.Split("reorder"), f.faults.Handle("fuzzer", event.Name, "reorder"))
 	order := r.Perm(len(confirmed))
 	stable := make([]bool, len(confirmed))
 	for _, idx := range order {
 		c := confirmed[idx]
 		med, err := reorderBench.medianDelta(event, c.g.Sequence(), f.cfg.Repeats)
 		if err != nil {
+			if errors.Is(err, hpc.ErrReadFault) {
+				mDroppedByFault.Inc()
+				stable[idx] = false
+				continue
+			}
 			return nil, tried, err
 		}
 		lo := c.delta * 0.5

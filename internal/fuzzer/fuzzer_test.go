@@ -99,7 +99,7 @@ func TestRepeatedTriggersRejectsResetOnlyEffect(t *testing.T) {
 			nop = v
 		}
 	}
-	b := f.newBench(f.root.Split("test"))
+	b := f.newBench(f.root.Split("test"), nil)
 	// Reset = load (retires uops), trigger = nop (also retires, but the
 	// cumulative hot path is NOT > λ2 × cold path).
 	ok, err := b.repeatedTriggers(ev, Gadget{Reset: load, Trigger: nop}, f.cfg)

@@ -103,7 +103,7 @@ func (f *Fuzzer) FuzzEventSequences(event *hpc.Event, seqLen int) ([]SeqFinding,
 		seqLen = 1
 	}
 	r := f.root.Split("seq-event/" + event.Name)
-	b := f.newBench(r.Split("bench"))
+	b := f.newBench(r.Split("bench"), f.faults.Handle("fuzzer-seq", event.Name, "bench"))
 
 	sample := func() []isa.Variant {
 		seq := make([]isa.Variant, seqLen)
@@ -139,7 +139,7 @@ func (f *Fuzzer) FuzzEventSequences(event *hpc.Event, seqLen int) ([]SeqFinding,
 		return out, tried, nil
 	}
 
-	confirmBench := f.newBench(r.Split("confirm"))
+	confirmBench := f.newBench(r.Split("confirm"), f.faults.Handle("fuzzer-seq", event.Name, "confirm"))
 	var out []SeqFinding
 	for _, c := range reported {
 		ok, err := confirmBench.repeatedTriggersSeq(event, c.g.Reset, c.g.Sequence(), f.cfg)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/telemetry"
@@ -40,6 +41,7 @@ type PerfSession struct {
 	attr   PerfAttr
 	events []*Event
 	noise  *rng.Source
+	faults *faultinject.Handle
 
 	groups     [][]int // event indices per multiplex group
 	activeGrp  int
@@ -85,6 +87,10 @@ func OpenPerfSession(attr PerfAttr, events []*Event, noise *rng.Source) (*PerfSe
 // Multiplexed reports whether the session needs time multiplexing.
 func (s *PerfSession) Multiplexed() bool { return len(s.groups) > 1 }
 
+// SetFaults attaches a fault-injection schedule to this session's tick
+// path. A nil handle (the default) is the healthy substrate.
+func (s *PerfSession) SetFaults(h *faultinject.Handle) { s.faults = h }
+
 // Tick advances the session by one sampling tick given the monitored
 // core's current raw counters. The active register group accumulates its
 // events' deltas; groups rotate round-robin per tick.
@@ -104,6 +110,13 @@ func (s *PerfSession) Tick(now microarch.Counters) {
 
 	for i := range s.events {
 		s.ticksTotal[i]++
+	}
+	if s.faults.MultiplexStarved() {
+		// The active group got no PMC time this tick: its samples are lost
+		// and rotation stalls, while total time keeps advancing — so the
+		// total/live scaling below degrades exactly the way perf's does
+		// when a group is starved.
+		return
 	}
 	for _, idx := range s.groups[s.activeGrp] {
 		e := s.events[idx]

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/telemetry"
@@ -27,6 +28,9 @@ var (
 	ErrBadSlot   = errors.New("hpc: counter slot out of range")
 	ErrSlotEmpty = errors.New("hpc: counter slot not programmed")
 	ErrNilEvent  = errors.New("hpc: nil event")
+	// ErrReadFault is returned when an injected fault makes an RDPMC read
+	// fail (modelling a read racing counter rotation).
+	ErrReadFault = errors.New("hpc: rdpmc read fault")
 )
 
 // PMU models one core's performance monitoring unit: four programmable
@@ -38,9 +42,10 @@ var (
 // A PMU is not safe for concurrent use: like real hardware it is per-core
 // state, and parallel pipeline workers must each program their own.
 type PMU struct {
-	core  *microarch.Core
-	noise *rng.Source
-	slots [NumCounterRegisters]*pmcSlot
+	core   *microarch.Core
+	noise  *rng.Source
+	faults *faultinject.Handle
+	slots  [NumCounterRegisters]*pmcSlot
 }
 
 type pmcSlot struct {
@@ -49,12 +54,30 @@ type pmcSlot struct {
 	// drift accumulates the noise already reported so that repeated RDPMC
 	// reads of an unchanged counter stay monotonic and consistent.
 	drift float64
+	// saturated latches the counter at satValue once it overflows; only
+	// re-programming the slot clears it (Reset does not — the overflow
+	// status bit survives a counter write, like real PMC overflow latches).
+	saturated bool
+	satValue  float64
 }
 
 // NewPMU attaches a PMU to a core. The noise source may be nil for exact
 // (noise-free) reads, which the tests use to verify derivations.
 func NewPMU(core *microarch.Core, noise *rng.Source) *PMU {
 	return &PMU{core: core, noise: noise}
+}
+
+// SetFaults attaches a fault-injection schedule to this PMU's read path.
+// A nil handle (the default) is the healthy substrate.
+func (p *PMU) SetFaults(h *faultinject.Handle) { p.faults = h }
+
+// Saturated reports whether a slot's counter is latched at its overflow
+// cap. Only Program clears the latch.
+func (p *PMU) Saturated(slot int) bool {
+	if slot < 0 || slot >= NumCounterRegisters || p.slots[slot] == nil {
+		return false
+	}
+	return p.slots[slot].saturated
 }
 
 // Program loads an event into a counter register and zeroes it.
@@ -89,6 +112,16 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 		return 0, ErrSlotEmpty
 	}
 	mRDPMCReads.Inc()
+	if p.faults.PMUReadError() {
+		return 0, fmt.Errorf("%w: slot %d", ErrReadFault, slot)
+	}
+	if s.saturated {
+		return s.satValue, nil
+	}
+	if latch, ok := p.faults.CounterSaturation(); ok {
+		s.saturated, s.satValue = true, latch
+		return latch, nil
+	}
 	delta := p.core.Counters().Sub(s.base)
 	v := s.event.Value(delta.Vector())
 	if p.noise != nil && s.event.NoiseSigma > 0 {

@@ -23,9 +23,15 @@ import (
 
 // Errors returned by the package.
 var (
-	ErrBadEpsilon = errors.New("obfuscator: epsilon must be positive")
-	ErrBadBound   = errors.New("obfuscator: bound must be positive")
+	ErrBadEpsilon = errors.New("obfuscator: epsilon must be positive and finite")
+	ErrBadBound   = errors.New("obfuscator: bound must be positive and finite")
 )
+
+// badParam reports a NaN/Inf/non-positive mechanism parameter. NaN needs
+// explicit rejection: `v <= 0` is false for NaN and would slip through.
+func badParam(v float64) bool {
+	return !(v > 0) || math.IsInf(v, 0)
+}
 
 // Mechanism produces the per-tick noise (in event counts) to inject.
 type Mechanism interface {
@@ -92,8 +98,11 @@ type LaplaceMechanism struct {
 
 // NewLaplaceMechanism builds the mechanism; sensitivity <= 0 defaults to 1.
 func NewLaplaceMechanism(epsilon, sensitivity float64, r *rng.Source) (*LaplaceMechanism, error) {
-	if epsilon <= 0 {
+	if badParam(epsilon) {
 		return nil, fmt.Errorf("%w: %v", ErrBadEpsilon, epsilon)
+	}
+	if math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("%w: sensitivity %v", ErrBadBound, sensitivity)
 	}
 	if sensitivity <= 0 {
 		sensitivity = 1
@@ -138,8 +147,11 @@ type DStarMechanism struct {
 
 // NewDStarMechanism builds the mechanism.
 func NewDStarMechanism(epsilon, sensitivity float64, r *rng.Source) (*DStarMechanism, error) {
-	if epsilon <= 0 {
+	if badParam(epsilon) {
 		return nil, fmt.Errorf("%w: %v", ErrBadEpsilon, epsilon)
+	}
+	if math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("%w: sensitivity %v", ErrBadBound, sensitivity)
 	}
 	if sensitivity <= 0 {
 		sensitivity = 1
@@ -225,7 +237,7 @@ type RandomNoiseMechanism struct {
 
 // NewRandomNoiseMechanism builds the baseline.
 func NewRandomNoiseMechanism(bound float64, r *rng.Source) (*RandomNoiseMechanism, error) {
-	if bound <= 0 {
+	if badParam(bound) {
 		return nil, fmt.Errorf("%w: %v", ErrBadBound, bound)
 	}
 	return &RandomNoiseMechanism{Bound: bound, r: r}, nil
@@ -251,7 +263,7 @@ type ConstantOutputMechanism struct {
 
 // NewConstantOutputMechanism builds the baseline.
 func NewConstantOutputMechanism(peak float64) (*ConstantOutputMechanism, error) {
-	if peak <= 0 {
+	if badParam(peak) {
 		return nil, fmt.Errorf("%w: %v", ErrBadBound, peak)
 	}
 	return &ConstantOutputMechanism{Peak: peak}, nil

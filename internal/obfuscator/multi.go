@@ -3,6 +3,7 @@ package obfuscator
 import (
 	"fmt"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/sev"
@@ -15,7 +16,15 @@ var (
 	mMultiTicks          = telemetry.C("obfuscator_multi_ticks_total")
 	mMultiInjectedReps   = telemetry.C("obfuscator_multi_injected_reps_total")
 	mMultiClipSaturation = telemetry.C("obfuscator_multi_clip_saturations_total")
+	mMultiDegradedPlans  = telemetry.C("obfuscator_multi_degraded_plan_ticks_total")
+	mMultiRetries        = telemetry.C("obfuscator_multi_retries_total")
+	mMultiRearms         = telemetry.C("obfuscator_multi_counter_rearms_total")
 )
+
+// multiMaxRetries bounds per-plan, per-tick recovery attempts; the
+// multi-event deployer uses a fixed policy rather than the single-event
+// obfuscator's configurable one.
+const multiMaxRetries = 3
 
 // Plan protects one critical HPC event with its own mechanism and gadget
 // segment.
@@ -35,14 +44,20 @@ type Plan struct {
 type MultiObfuscator struct {
 	plans []planState
 
-	injectedReps int64
-	ticks        int64
+	faults *faultinject.Injector
+
+	injectedReps      int64
+	ticks             int64
+	degradedPlanTicks int64
+	retries           int64
+	counterRearms     int64
 }
 
 type planState struct {
 	plan    Plan
 	kmod    kernelModule
 	perExec float64
+	faults  *faultinject.Handle
 	// injectedCounts per plan, in its event's units.
 	injectedCounts float64
 }
@@ -78,6 +93,20 @@ func NewMulti(plans []Plan) (*MultiObfuscator, error) {
 	return m, nil
 }
 
+// SetFaults wires a fault injector into every plan's kernel-module PMU.
+// Handles are labelled by plan index so the schedules are stable however
+// many plans share the deployment. Must be called before the first Step.
+func (m *MultiObfuscator) SetFaults(in *faultinject.Injector) {
+	m.faults = in
+	for i := range m.plans {
+		if in == nil {
+			m.plans[i].faults = nil
+			continue
+		}
+		m.plans[i].faults = in.Handle("obfuscator-multi", fmt.Sprintf("plan%d", i))
+	}
+}
+
 // Name implements sev.Process.
 func (m *MultiObfuscator) Name() string { return "aegis-obfuscator-multi" }
 
@@ -96,6 +125,21 @@ func (m *MultiObfuscator) InjectedCounts(i int) (float64, error) {
 // Plans returns the number of protected events.
 func (m *MultiObfuscator) Plans() int { return len(m.plans) }
 
+// DegradedPlanTicks returns how many (plan, tick) pairs were skipped or
+// cut short by substrate faults.
+func (m *MultiObfuscator) DegradedPlanTicks() int64 { return m.degradedPlanTicks }
+
+// Retries returns the recovery attempts across all plans.
+func (m *MultiObfuscator) Retries() int64 { return m.retries }
+
+// CounterRearms returns how many times a plan's latched counter was
+// re-programmed.
+func (m *MultiObfuscator) CounterRearms() int64 { return m.counterRearms }
+
+// FullProtection reports whether every plan ran every tick without
+// degradation.
+func (m *MultiObfuscator) FullProtection() bool { return m.degradedPlanTicks == 0 }
+
 // Step implements sev.Process.
 func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 	m.ticks++
@@ -106,19 +150,40 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 	for i := range m.plans {
 		ps := &m.plans[i]
 		if !ps.kmod.attached {
-			if err := ps.kmod.attach(g.Core(), ps.plan.Event); err != nil {
+			if err := ps.kmod.attach(g.Core(), ps.plan.Event, ps.faults); err != nil {
+				m.degradePlan()
 				continue
 			}
 		}
 		var x float64
 		if ps.plan.Mechanism.NeedsObservation() {
 			v, err := ps.kmod.readAndReset()
+			for attempt := 0; err != nil && attempt < multiMaxRetries; attempt++ {
+				m.retries++
+				mMultiRetries.Inc()
+				v, err = ps.kmod.readAndReset()
+			}
 			if err != nil {
+				m.degradePlan()
 				continue
+			}
+			if ps.kmod.saturated() {
+				// Latched at the overflow cap: re-arm and treat the
+				// observation as lost rather than feeding the cap in.
+				if rerr := ps.kmod.rearm(ps.plan.Event); rerr != nil {
+					m.degradePlan()
+					continue
+				}
+				m.counterRearms++
+				mMultiRearms.Inc()
+				v = 0
 			}
 			x = v
 		}
 		noise := drawNoise(ps.plan.Mechanism, t, x)
+		if v, ok := ps.faults.DrawExtreme(); ok {
+			noise = v
+		}
 		if noise < 0 {
 			noise = 0
 		}
@@ -128,15 +193,38 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 		}
 		reps := int(noise/ps.perExec + 0.5)
 		injected := 0
-		for r := 0; r < reps; r++ {
+		retries := 0
+		planned := reps
+		for r := 0; r < planned; {
 			n, err := g.ExecuteSeq(ps.plan.Segment)
-			if err != nil || n < len(ps.plan.Segment) {
+			if err != nil {
+				m.degradePlan()
+				break
+			}
+			if n == len(ps.plan.Segment) {
+				injected++
+				r++
+				continue
+			}
+			if g.Remaining() == 0 {
+				// Shared budget exhausted: later plans see it immediately.
 				if n > 0 {
 					injected++
 				}
 				break
 			}
-			injected++
+			// Fault-interrupted mid-gadget: retry with the same halving
+			// backoff as the single-event obfuscator.
+			if retries < multiMaxRetries {
+				retries++
+				m.retries++
+				mMultiRetries.Inc()
+				remaining := planned - r
+				planned = r + (remaining+1)/2
+				continue
+			}
+			m.degradePlan()
+			break
 		}
 		applied := float64(injected) * ps.perExec
 		ps.injectedCounts += applied
@@ -149,6 +237,11 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 			return
 		}
 	}
+}
+
+func (m *MultiObfuscator) degradePlan() {
+	m.degradedPlanTicks++
+	mMultiDegradedPlans.Inc()
 }
 
 // SecretDependentMechanism wraps a base mechanism with a constant,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
@@ -12,8 +13,10 @@ import (
 	"github.com/repro/aegis/internal/telemetry"
 )
 
-// Obfuscator metrics: per-tick injection volume, clip/budget saturation
-// and mechanism draw latency, shared by single- and multi-event deployers.
+// Obfuscator metrics: per-tick injection volume, clip/budget saturation,
+// mechanism draw latency, and the degradation funnel (every tick lands in
+// exactly one of injected/zero-draw/no-injection/degraded), shared by
+// single- and multi-event deployers.
 var (
 	mTicks           = telemetry.C("obfuscator_ticks_total")
 	mInjectedReps    = telemetry.C("obfuscator_injected_reps_total")
@@ -22,7 +25,138 @@ var (
 	mRepSaturations  = telemetry.C("obfuscator_budget_saturations_total")
 	hDrawNanos       = telemetry.H("obfuscator_mechanism_draw_ns",
 		telemetry.ExpBuckets(64, 4, 8))
+
+	// Robustness metrics.
+	mRetries          = telemetry.C("obfuscator_retries_total")
+	mInjectedTicks    = telemetry.C("obfuscator_injected_ticks_total")
+	mZeroDrawTicks    = telemetry.C("obfuscator_zero_draw_ticks_total")
+	mNoInjectionTicks = telemetry.C("obfuscator_no_injection_ticks_total")
+	mCounterRearms    = telemetry.C("obfuscator_counter_rearms_total")
+	mMechFallbacks    = telemetry.C("obfuscator_mechanism_fallbacks_total")
+	// mDegraded is created eagerly per reason so the metric names are
+	// stable in expositions even before any fault fires.
+	mDegraded = func() map[string]*telemetry.Counter {
+		out := make(map[string]*telemetry.Counter, len(DegradeReasons))
+		for _, r := range DegradeReasons {
+			out[r] = telemetry.C("obfuscator_degraded_ticks_total", telemetry.L("reason", r))
+		}
+		return out
+	}()
 )
+
+// Degradation reasons recorded on TickInfo and the
+// obfuscator_degraded_ticks_total{reason=...} counter.
+const (
+	// ReasonKmodAttach: the kernel module could not attach its PMU.
+	ReasonKmodAttach = "kmod-attach"
+	// ReasonPMURead: the reference-event RDPMC read kept failing after
+	// bounded retries; the tick proceeds without an observation.
+	ReasonPMURead = "pmu-read"
+	// ReasonCounterRearm: the reference counter was found latched at its
+	// overflow cap and was re-programmed; this tick's observation is lost.
+	ReasonCounterRearm = "counter-rearm"
+	// ReasonDStarClipFallback: repeated clip saturations forced the d*
+	// mechanism to fall back to Laplace, changing the privacy guarantee.
+	ReasonDStarClipFallback = "dstar-clip-fallback"
+	// ReasonRetryExhausted: gadget injection kept getting interrupted and
+	// the retry budget ran out before the plan completed.
+	ReasonRetryExhausted = "retry-exhausted"
+	// ReasonExecError: the guest executor failed outright.
+	ReasonExecError = "exec-error"
+)
+
+// DegradeReasons lists every degradation reason in stable order.
+var DegradeReasons = []string{
+	ReasonKmodAttach, ReasonPMURead, ReasonCounterRearm,
+	ReasonDStarClipFallback, ReasonRetryExhausted, ReasonExecError,
+}
+
+// TickOutcome classifies what one obfuscator tick did. Outcomes are
+// mutually exclusive so they reconcile: ticks == injected + zero-draw +
+// no-injection + degraded.
+type TickOutcome int
+
+const (
+	// TickInjected: the tick injected at least one full gadget segment.
+	TickInjected TickOutcome = iota
+	// TickZeroDraw: the mechanism drew zero or negative noise, clipped to
+	// the support's lower bound — the mechanism chose not to inject.
+	TickZeroDraw
+	// TickNoInjection: the draw was positive but too small to warrant even
+	// one segment execution. Distinguished from TickZeroDraw because the
+	// mechanism DID ask for noise; the calibration granularity ate it.
+	TickNoInjection
+	// TickDegraded: a fault kept the tick from following the normal
+	// protocol (see TickInfo.DegradedReason). Injection may still have
+	// partially happened; protection must not be reported as full.
+	TickDegraded
+)
+
+// String returns a stable name for the outcome.
+func (o TickOutcome) String() string {
+	switch o {
+	case TickInjected:
+		return "injected"
+	case TickZeroDraw:
+		return "zero-draw"
+	case TickNoInjection:
+		return "no-injection"
+	case TickDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// TickInfo is the result of one obfuscator tick.
+type TickInfo struct {
+	// Tick is the world tick the info describes.
+	Tick int64
+	// Outcome classifies the tick.
+	Outcome TickOutcome
+	// DegradedReason names the first degradation that hit (Outcome ==
+	// TickDegraded only).
+	DegradedReason string
+	// RawDraw is the mechanism's draw before clipping (or the injected
+	// draw-extreme fault value).
+	RawDraw float64
+	// Noise is the clipped draw in [0, ClipBound].
+	Noise float64
+	// ClippedLow/ClippedHigh report clipping at the support bounds.
+	ClippedLow, ClippedHigh bool
+	// Requested is the segment executions the noise asked for; Injected is
+	// how many fully retired. Retries counts re-attempts after
+	// fault-interrupted executions or failed PMU reads.
+	Requested, Injected, Retries int
+	// Applied is Injected×perExec, the counts fed back into d*'s Commit.
+	Applied float64
+	// Rearmed reports that the reference counter was re-programmed after
+	// an overflow latch.
+	Rearmed bool
+	// FellBack reports that the mechanism fell back to Laplace this tick.
+	FellBack bool
+}
+
+// ProtectionReport summarises what the obfuscator actually delivered.
+type ProtectionReport struct {
+	Ticks, InjectedTicks, ZeroDrawTicks, NoInjectionTicks, DegradedTicks int64
+	// DegradedByReason splits DegradedTicks (plus fallback events) by
+	// reason string.
+	DegradedByReason map[string]int64
+	// Retries, CounterRearms, MechanismFallbacks count recovery actions.
+	Retries, CounterRearms, MechanismFallbacks int64
+	// FaultsSeen is the number of faults injected into this obfuscator's
+	// own substrate handles (kernel-module PMU + mechanism draws).
+	FaultsSeen uint64
+}
+
+// Full reports whether protection ran at full fidelity: no degraded ticks,
+// no mechanism fallback, and no faults observed on the obfuscator's own
+// substrate. Under faults this is false — the obfuscator never silently
+// claims full protection.
+func (r ProtectionReport) Full() bool {
+	return r.DegradedTicks == 0 && r.MechanismFallbacks == 0 && r.FaultsSeen == 0
+}
 
 // Config configures the in-VM obfuscator service.
 type Config struct {
@@ -45,6 +179,19 @@ type Config struct {
 	MaxRepsPerTick int
 	// Seed drives the noise sampling.
 	Seed uint64
+	// Faults injects substrate faults into the obfuscator's own kernel
+	// module PMU and mechanism draws. The zero value is the healthy
+	// substrate.
+	Faults faultinject.Config
+	// MaxRetries bounds per-tick retries of failed PMU reads and
+	// fault-interrupted gadget executions; 0 means 3, negative disables
+	// retrying.
+	MaxRetries int
+	// FallbackAfterClips is the number of consecutive clip saturations
+	// after which an observation-based d* mechanism falls back to a
+	// Laplace mechanism with the same (ε, Δ); 0 means 8, negative
+	// disables the fallback.
+	FallbackAfterClips int
 }
 
 // Errors returned by the obfuscator.
@@ -63,8 +210,9 @@ type kernelModule struct {
 	attached bool
 }
 
-func (k *kernelModule) attach(core *microarch.Core, ev *hpc.Event) error {
+func (k *kernelModule) attach(core *microarch.Core, ev *hpc.Event, faults *faultinject.Handle) error {
 	k.pmu = hpc.NewPMU(core, nil) // in-guest reads are taken as ground truth
+	k.pmu.SetFaults(faults)
 	if err := k.pmu.Program(hpc.NumCounterRegisters-1, ev); err != nil {
 		return err
 	}
@@ -84,6 +232,17 @@ func (k *kernelModule) readAndReset() (float64, error) {
 	return v, nil
 }
 
+// saturated reports whether the reference counter is latched at its
+// overflow cap.
+func (k *kernelModule) saturated() bool {
+	return k.pmu.Saturated(hpc.NumCounterRegisters - 1)
+}
+
+// rearm re-programs the reference counter, clearing an overflow latch.
+func (k *kernelModule) rearm(ev *hpc.Event) error {
+	return k.pmu.Program(hpc.NumCounterRegisters-1, ev)
+}
+
 // Obfuscator is the sev.Process deployed inside the victim VM. It is
 // scheduled on the same vCPU as the protected application (paper §VII-C)
 // so the hypervisor cannot separate the two.
@@ -94,11 +253,37 @@ type Obfuscator struct {
 	noise   *rng.Source
 	perExec float64 // reference-event counts per segment execution
 
+	// Fault handling. faults is this obfuscator's own injector (nil when
+	// healthy); kmodFaults feeds the kernel module's PMU, drawFaults the
+	// mechanism draw path.
+	faults     *faultinject.Injector
+	kmodFaults *faultinject.Handle
+	drawFaults *faultinject.Handle
+	maxRetries int
+
+	// Degradation policy state: the active mechanism (swapped on
+	// fallback), the prepared Laplace fallback, and the consecutive
+	// high-clip streak that triggers it.
+	mech          Mechanism
+	fallback      Mechanism
+	fallbackAfter int
+	consecClips   int
+
 	// Telemetry.
 	injectedCounts float64
 	injectedReps   int64
 	ticks          int64
 	saturatedTicks int64
+
+	injectedTicks    int64
+	zeroDrawTicks    int64
+	noInjectionTicks int64
+	degradedTicks    int64
+	degradedByReason map[string]int64
+	retriesTotal     int64
+	counterRearms    int64
+	fallbacks        int64
+	last             TickInfo
 }
 
 var _ sev.Process = (*Obfuscator)(nil)
@@ -119,9 +304,38 @@ func New(cfg Config) (*Obfuscator, error) {
 	if cfg.ClipBound <= 0 {
 		cfg.ClipBound = 20000
 	}
+	maxRetries := cfg.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = 3
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	fallbackAfter := cfg.FallbackAfterClips
+	if fallbackAfter == 0 {
+		fallbackAfter = 8
+	}
 	o := &Obfuscator{
-		cfg:   cfg,
-		noise: rng.New(cfg.Seed).Split("obfuscator"),
+		cfg:              cfg,
+		noise:            rng.New(cfg.Seed).Split("obfuscator"),
+		faults:           faultinject.New(cfg.Faults),
+		maxRetries:       maxRetries,
+		mech:             cfg.Mechanism,
+		fallbackAfter:    fallbackAfter,
+		degradedByReason: make(map[string]int64),
+	}
+	o.kmodFaults = o.faults.Handle("obfuscator", "kmod")
+	o.drawFaults = o.faults.Handle("obfuscator", "draw")
+	// Prepare the d*→Laplace fallback with the same privacy parameters:
+	// if draws clip persistently, the tree recursion's committed noise no
+	// longer matches what was drawn, so a memoryless mechanism is safer.
+	if d, ok := cfg.Mechanism.(*DStarMechanism); ok && fallbackAfter > 0 {
+		fb, err := NewLaplaceMechanism(d.Epsilon, d.Sensitivity,
+			rng.New(cfg.Seed).Split("obfuscator-fallback"))
+		if err != nil {
+			return nil, err
+		}
+		o.fallback = fb
 	}
 	per, err := calibrateSegment(cfg.Segment, cfg.RefEvent)
 	if err != nil {
@@ -181,55 +395,189 @@ func (o *Obfuscator) SaturationRate() float64 {
 	return float64(o.saturatedTicks) / float64(o.ticks)
 }
 
+// ActiveMechanism returns the mechanism currently drawing noise (the
+// configured one, or the Laplace fallback after a d* clip storm).
+func (o *Obfuscator) ActiveMechanism() Mechanism { return o.mech }
+
+// LastTick returns the most recent tick's result.
+func (o *Obfuscator) LastTick() TickInfo { return o.last }
+
+// Report returns the cumulative protection report.
+func (o *Obfuscator) Report() ProtectionReport {
+	byReason := make(map[string]int64, len(o.degradedByReason))
+	for k, v := range o.degradedByReason {
+		byReason[k] = v
+	}
+	return ProtectionReport{
+		Ticks:              o.ticks,
+		InjectedTicks:      o.injectedTicks,
+		ZeroDrawTicks:      o.zeroDrawTicks,
+		NoInjectionTicks:   o.noInjectionTicks,
+		DegradedTicks:      o.degradedTicks,
+		DegradedByReason:   byReason,
+		Retries:            o.retriesTotal,
+		CounterRearms:      o.counterRearms,
+		MechanismFallbacks: o.fallbacks,
+		FaultsSeen:         o.kmodFaults.Total() + o.drawFaults.Total(),
+	}
+}
+
 // Step implements sev.Process: one tick of the kernel-module/daemon loop.
 func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 	o.ticks++
-	t := g.Tick()
 	tickSpan := telemetry.StartSpan("obfuscator.tick")
-	defer tickSpan.End()
+	info := o.runTick(g, g.Tick())
+	tickSpan.End()
 	mTicks.Inc()
+	o.last = info
+	o.retriesTotal += int64(info.Retries)
+	switch info.Outcome {
+	case TickInjected:
+		o.injectedTicks++
+		mInjectedTicks.Inc()
+	case TickZeroDraw:
+		o.zeroDrawTicks++
+		mZeroDrawTicks.Inc()
+	case TickNoInjection:
+		o.noInjectionTicks++
+		mNoInjectionTicks.Inc()
+	case TickDegraded:
+		o.degradedTicks++
+		o.degradedByReason[info.DegradedReason]++
+		if c, ok := mDegraded[info.DegradedReason]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// degrade marks the tick's outcome as degraded with the given reason (the
+// first reason sticks).
+func degrade(info *TickInfo, reason string) {
+	info.Outcome = TickDegraded
+	if info.DegradedReason == "" {
+		info.DegradedReason = reason
+	}
+}
+
+// runTick executes one tick of the kernel-module/daemon protocol with the
+// per-tick degradation policy: bounded retries on PMU read failures,
+// counter re-arm on overflow latches, skip-and-count when recovery fails,
+// and a d*→Laplace fallback under persistent clip saturation.
+func (o *Obfuscator) runTick(g *sev.GuestExecutor, t int64) TickInfo {
+	info := TickInfo{Tick: t}
 
 	// Kernel module: lazily attach to this vCPU's core, then read the
 	// real-time HPC value when the mechanism needs it.
 	if !o.kmod.attached {
-		if err := o.kmod.attach(g.Core(), o.cfg.RefEvent); err != nil {
-			return
+		if err := o.kmod.attach(g.Core(), o.cfg.RefEvent, o.kmodFaults); err != nil {
+			degrade(&info, ReasonKmodAttach)
+			return info
 		}
 	}
 	var x float64
-	if o.cfg.Mechanism.NeedsObservation() {
+	if o.mech.NeedsObservation() {
 		v, err := o.kmod.readAndReset()
-		if err != nil {
-			return
+		for attempt := 0; err != nil && attempt < o.maxRetries; attempt++ {
+			info.Retries++
+			mRetries.Inc()
+			v, err = o.kmod.readAndReset()
 		}
-		x = v
+		switch {
+		case err != nil:
+			// Skip-and-count: no observation this tick, no injection —
+			// silently injecting on a stale x would distort the recursion.
+			degrade(&info, ReasonPMURead)
+			return info
+		case o.kmod.saturated():
+			// The read came back latched at the overflow cap: garbage.
+			// Re-arm the counter (re-program clears the latch) and proceed
+			// with x = 0 rather than feeding the cap into the mechanism.
+			if rerr := o.kmod.rearm(o.cfg.RefEvent); rerr != nil {
+				degrade(&info, ReasonCounterRearm)
+				return info
+			}
+			o.counterRearms++
+			mCounterRearms.Inc()
+			info.Rearmed = true
+			degrade(&info, ReasonCounterRearm)
+			x = 0
+		default:
+			x = v
+		}
 	}
 
-	// Daemon: noise calculation with clipping to [0, B_u].
-	noise := drawNoise(o.cfg.Mechanism, t, x)
+	// Daemon: noise calculation with clipping to [0, B_u]. An injected
+	// draw-extreme fault replaces the draw with a clipping extreme.
+	raw := drawNoise(o.mech, t, x)
+	if v, ok := o.drawFaults.DrawExtreme(); ok {
+		raw = v
+	}
+	info.RawDraw = raw
+	noise := raw
 	if noise < 0 {
 		noise = 0
+		info.ClippedLow = true
 	}
 	if noise > o.cfg.ClipBound {
 		noise = o.cfg.ClipBound
+		info.ClippedHigh = true
 		mClipSaturations.Inc()
+		o.consecClips++
+	} else {
+		o.consecClips = 0
+	}
+	info.Noise = noise
+
+	// Persistent clip saturation: the d* recursion keeps committing
+	// clipped values that diverge from its draws, so swap to the prepared
+	// memoryless Laplace fallback (same ε and Δ) from the next tick on.
+	if o.fallback != nil && o.mech != o.fallback && o.consecClips >= o.fallbackAfter {
+		o.mech = o.fallback
+		o.fallbacks++
+		mMechFallbacks.Inc()
+		info.FellBack = true
+		degrade(&info, ReasonDStarClipFallback)
 	}
 
-	// Daemon: injection — repeat the stacked gadget segment.
+	// Classify deliberate non-injection before running the injector: a
+	// zero/negative draw is the mechanism's choice (the DP support
+	// includes 0), a positive draw below one segment's worth is a
+	// calibration-granularity no-op.
+	if info.Outcome != TickDegraded {
+		if raw <= 0 {
+			info.Outcome = TickZeroDraw
+		} else if int(noise/o.perExec+0.5) == 0 {
+			info.Outcome = TickNoInjection
+		}
+	}
+
+	// Daemon: injection — repeat the stacked gadget segment, retrying
+	// fault-interrupted executions with a deterministic backoff (each
+	// retry halves the remaining plan, so interrupt storms converge
+	// instead of hammering the executor).
 	reps := int(noise/o.perExec + 0.5)
 	if o.cfg.MaxRepsPerTick > 0 && reps > o.cfg.MaxRepsPerTick {
 		reps = o.cfg.MaxRepsPerTick
 		o.saturatedTicks++
 		mRepSaturations.Inc()
 	}
+	info.Requested = reps
 	injectedReps := 0
-	for i := 0; i < reps; i++ {
+	planned := reps
+	for i := 0; i < planned; {
 		n, err := g.ExecuteSeq(o.cfg.Segment)
 		if err != nil {
+			degrade(&info, ReasonExecError)
 			break
 		}
-		if n < len(o.cfg.Segment) {
-			// vCPU tick budget exhausted mid-segment.
+		if n == len(o.cfg.Segment) {
+			injectedReps++
+			i++
+			continue
+		}
+		if g.Remaining() == 0 {
+			// vCPU tick budget exhausted mid-segment: physics, not a
+			// fault — stop here as before.
 			o.saturatedTicks++
 			mRepSaturations.Inc()
 			if n > 0 {
@@ -237,18 +585,36 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 			}
 			break
 		}
-		injectedReps++
+		// Budget remains but the segment stopped short: an interrupt
+		// landed mid-gadget. Retry with backoff.
+		if info.Retries < o.maxRetries {
+			info.Retries++
+			mRetries.Inc()
+			remaining := planned - i
+			planned = i + (remaining+1)/2
+			continue
+		}
+		degrade(&info, ReasonRetryExhausted)
+		break
 	}
 	applied := float64(injectedReps) * o.perExec
+	info.Injected = injectedReps
+	info.Applied = applied
 	o.injectedCounts += applied
 	o.injectedReps += int64(injectedReps)
 	mInjectedReps.Add(float64(injectedReps))
 	mInjectedCounts.Add(applied)
+	if info.Outcome == TickInjected && injectedReps == 0 {
+		// The plan asked for reps but none retired (e.g. budget hit on
+		// the very first segment): an empty tick, not an injected one.
+		info.Outcome = TickNoInjection
+	}
 
 	// Observation-based mechanisms track what was actually injected.
-	if d, ok := o.cfg.Mechanism.(*DStarMechanism); ok {
+	if d, ok := o.mech.(*DStarMechanism); ok {
 		d.Commit(t, applied)
 	}
+	return info
 }
 
 // drawNoise samples the mechanism, timing the draw when telemetry is live.

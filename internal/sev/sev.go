@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
@@ -87,6 +88,7 @@ type GuestExecutor struct {
 	budget int
 	used   int
 	tick   int64
+	faults *faultinject.Handle
 }
 
 // Execute retires one instruction if budget remains; it reports whether the
@@ -103,8 +105,14 @@ func (g *GuestExecutor) Execute(v isa.Variant) (bool, error) {
 }
 
 // ExecuteSeq retires a sequence, stopping when the budget runs out; it
-// returns the number of instructions executed.
+// returns the number of instructions executed. Under fault injection an
+// interrupt (VM exit) can land mid-sequence, in which case fewer
+// instructions retire even though budget remains — callers distinguish the
+// two by checking Remaining.
 func (g *GuestExecutor) ExecuteSeq(seq []isa.Variant) (int, error) {
+	if stop, ok := g.faults.GadgetInterrupt(len(seq)); ok {
+		seq = seq[:stop]
+	}
 	n := 0
 	for _, v := range seq {
 		ok, err := g.Execute(v)
@@ -141,6 +149,12 @@ type vcpu struct {
 	physCore int
 	procs    []Process
 	ctx      *microarch.ExecContext
+	// faultLabel identifies this vCPU in fault schedules ("vm0/vcpu1");
+	// faults is derived lazily on the first Step after SetFaults. Labelling
+	// by (vm, vcpu) — not by iteration order — keeps schedules independent
+	// of Go's map ordering in World.Step.
+	faultLabel string
+	faults     *faultinject.Handle
 	// nextFirst rotates which process runs first each tick, so co-located
 	// processes timeshare the budget fairly (without this, a process
 	// added later could never delay an earlier one, and the obfuscator
@@ -184,7 +198,24 @@ type World struct {
 	nextVM int
 	tick   int64
 	rand   *rng.Source
+	faults *faultinject.Injector
 }
+
+// SetFaults attaches a fault injector to the world: vCPUs start suffering
+// preemption bursts and mid-gadget interrupts. A nil injector (the
+// default) is the healthy substrate. Call before or after LaunchVM;
+// handles are derived lazily per (vm, vcpu) on the next Step.
+func (w *World) SetFaults(in *faultinject.Injector) {
+	w.faults = in
+	for _, vm := range w.vms {
+		for _, vc := range vm.vcpus {
+			vc.faults = nil
+		}
+	}
+}
+
+// Faults returns the attached fault injector (nil when healthy).
+func (w *World) Faults() *faultinject.Injector { return w.faults }
 
 // NewWorld builds a host machine.
 func NewWorld(cfg Config) *World {
@@ -316,7 +347,8 @@ func (w *World) LaunchVM(cfg VMConfig) (*VM, error) {
 	for i := 0; i < cfg.VCPUs; i++ {
 		core := free[i]
 		vc := &vcpu{
-			physCore: core,
+			physCore:   core,
+			faultLabel: fmt.Sprintf("vm%d/vcpu%d", vm.id, i),
 			ctx: microarch.NewWorkloadContext(
 				uint64(vm.id+1)<<32, 1<<20,
 				w.rand.SplitN(fmt.Sprintf("vm%d-vcpu", vm.id), i)),
@@ -351,11 +383,18 @@ func (w *World) Step() {
 		for _, vc := range vm.vcpus {
 			mVCPUSteps.Inc()
 			core := w.cores[vc.physCore]
+			if w.faults != nil && vc.faults == nil {
+				vc.faults = w.faults.Handle("sev", vc.faultLabel)
+			}
+			// A preemption burst slashes the budget for this tick: the
+			// hypervisor is running something else (or single-stepping us).
+			budget := vc.faults.PreemptBudget(w.cfg.TickBudget)
 			g := &GuestExecutor{
 				core:   core,
 				ctx:    vc.ctx,
-				budget: w.cfg.TickBudget,
+				budget: budget,
 				tick:   w.tick,
+				faults: vc.faults,
 			}
 			n := len(vc.procs)
 			for i := 0; i < n; i++ {
