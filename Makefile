@@ -10,11 +10,11 @@ BENCH_ARGS ?= -scale eval -seed 1 -only table2,table3 -parallelism 1,4 -telemetr
 # raise FUZZTIME for a longer campaign (e.g. make fuzz FUZZTIME=60s).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fmt-check check fuzz bench bench-json bench-check
+.PHONY: build test vet race fmt-check check fuzz bench bench-alloc bench-json bench-check
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
-check: build vet fmt-check test race fuzz
+check: build vet fmt-check test bench-alloc race fuzz
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ fuzz:
 
 bench: bench-json
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Allocation gates: assert the steady-state hot paths (RDPMC, World.Step,
+# obfuscator tick, stats scratch kernels) stay at 0 allocs/op. The gates
+# are excluded under -race (instrumentation allocates), so `make race`
+# still covers the same code for data races.
+bench-alloc:
+	$(GO) test -run 'TestZeroAlloc' -count=1 -v .
 
 # Run the serial-vs-parallel trajectory and record wall-clock/throughput.
 bench-json:

@@ -1,0 +1,182 @@
+//go:build !race
+
+// Allocation gates for the steady-state hot paths (`make bench-alloc`).
+// Each gate warms the path up, then asserts 0 allocs/op with
+// testing.AllocsPerRun. The file is excluded under -race because race
+// instrumentation itself allocates; `make race` still exercises the same
+// code paths for data races through the regular tests.
+package aegis
+
+import (
+	"testing"
+
+	"github.com/repro/aegis/internal/hpc"
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/rng"
+	"github.com/repro/aegis/internal/sev"
+	"github.com/repro/aegis/internal/stats"
+	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/workload"
+)
+
+// quietTelemetry disables the default registry for the test (the hot-path
+// configuration the experiment harness runs with via -telemetry=false) and
+// restores it afterwards. With the registry enabled, a tick additionally
+// allocates one tracing span — the cost of observability, not the
+// substrate.
+func quietTelemetry(t *testing.T) {
+	t.Helper()
+	reg := telemetry.Default()
+	was := reg.Enabled()
+	reg.SetEnabled(false)
+	t.Cleanup(func() { reg.SetEnabled(was) })
+}
+
+// requireZeroAllocs asserts a warmed-up path allocates nothing per run.
+func requireZeroAllocs(t *testing.T, name string, runs int, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, f); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+// TestZeroAllocRDPMC gates the noisy counter read, the innermost operation
+// of the fuzzer's measurement loop and the obfuscator's kernel module.
+func TestZeroAllocRDPMC(t *testing.T) {
+	quietTelemetry(t)
+	core := microarch.NewCore(0, microarch.DefaultCoreConfig(), nil)
+	pmu := hpc.NewPMU(core, rng.New(3).Split("pmu"))
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	if err := pmu.Program(0, cat.MustByName("RETIRED_UOPS")); err != nil {
+		t.Fatal(err)
+	}
+	requireZeroAllocs(t, "PMU.RDPMC", 512, func() {
+		if _, err := pmu.RDPMC(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestZeroAllocReadAllInto gates the index-keyed bulk read that replaced
+// the per-tick map-allocating ReadAll on hot paths.
+func TestZeroAllocReadAllInto(t *testing.T) {
+	quietTelemetry(t)
+	core := microarch.NewCore(0, microarch.DefaultCoreConfig(), nil)
+	pmu := hpc.NewPMU(core, rng.New(4).Split("pmu"))
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	if err := pmu.Program(0, cat.MustByName("RETIRED_UOPS")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pmu.Program(2, cat.MustByName("LS_DISPATCH")); err != nil {
+		t.Fatal(err)
+	}
+	var buf [hpc.NumCounterRegisters]float64
+	requireZeroAllocs(t, "PMU.ReadAllInto", 512, func() {
+		pmu.ReadAllInto(buf[:])
+	})
+}
+
+// TestZeroAllocWorldStep gates one scheduler tick of a 1-vCPU SEV guest in
+// its idle steady state — the per-tick cost every experiment pays per
+// sample.
+func TestZeroAllocWorldStep(t *testing.T) {
+	quietTelemetry(t)
+	world := sev.NewWorld(sev.DefaultConfig(4))
+	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := workload.NewRunner("gate", workload.DefaultLibrary(1), rng.New(5).Split("r"))
+	if err := vm.AddProcess(0, runner); err != nil {
+		t.Fatal(err)
+	}
+	world.Run(8) // settle into the idle steady state
+	requireZeroAllocs(t, "World.Step", 256, func() { world.Step() })
+}
+
+// TestZeroAllocObfuscatorTick gates the full per-tick protection loop
+// (kernel-module read, noise draw, clip, gadget injection) for both DP
+// mechanisms, driven through World.Step like a deployed obfuscator.
+func TestZeroAllocObfuscatorTick(t *testing.T) {
+	quietTelemetry(t)
+	cat := hpc.NewAMDEpyc7252Catalog(1)
+	ref := cat.MustByName("RETIRED_UOPS")
+	seg := benchSegment(t)
+	for _, tc := range []struct {
+		name string
+		mech func() (obfuscator.Mechanism, error)
+	}{
+		{"laplace", func() (obfuscator.Mechanism, error) {
+			return obfuscator.NewLaplaceMechanism(1, 1500, rng.New(6).Split("lap"))
+		}},
+		{"dstar", func() (obfuscator.Mechanism, error) {
+			return obfuscator.NewDStarMechanism(1, 1500, rng.New(7).Split("dstar"))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mech, err := tc.mech()
+			if err != nil {
+				t.Fatal(err)
+			}
+			obf, err := obfuscator.New(obfuscator.Config{
+				Mechanism: mech,
+				Segment:   seg,
+				RefEvent:  ref,
+				ClipBound: 20000,
+				Seed:      11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			world := sev.NewWorld(sev.DefaultConfig(9))
+			vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.AddProcess(0, obf); err != nil {
+				t.Fatal(err)
+			}
+			world.Run(8) // attach the kernel module, settle the caches
+			requireZeroAllocs(t, "obfuscator tick "+tc.name, 128, func() { world.Step() })
+		})
+	}
+}
+
+// TestZeroAllocStatsScratch gates the arena-reusing numeric kernels at the
+// shapes the profiler's scoring loop uses.
+func TestZeroAllocStatsScratch(t *testing.T) {
+	rows := benchPCARows(72, 150)
+	classes := make([]stats.ClassModel, 6)
+	for i := range classes {
+		classes[i] = stats.ClassModel{
+			Secret: string(rune('a' + i)),
+			Dist:   stats.Gaussian{Mu: float64(i) * 2.5, Sigma: 1 + 0.2*float64(i)},
+		}
+	}
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	r := rng.New(12).Split("binned")
+	for i := range xs {
+		xs[i] = r.Gaussian(0, 1)
+		ys[i] = xs[i]*0.7 + r.Gaussian(0, 0.5)
+	}
+	var s stats.Scratch
+	requireZeroAllocs(t, "Scratch.FitPCA", 32, func() {
+		if _, err := s.FitPCA(rows, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Scratch.MutualInformation", 32, func() {
+		if _, err := s.MutualInformation(classes, 600); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Scratch.BinnedMI", 32, func() {
+		if _, err := s.BinnedMI(xs, ys, 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Scratch.MedianOf", 64, func() { s.MedianOf(xs) })
+	requireZeroAllocs(t, "Scratch.PercentileOf", 64, func() { s.PercentileOf(ys, 99) })
+}

@@ -6,6 +6,7 @@
 //	aegis-bench [-only table1,figure9a,...] [-scale test|eval] [-seed N]
 //	            [-parallelism N[,M,...]] [-bench-json PATH]
 //	            [-bench-check BASELINE] [-serial]
+//	            [-cpuprofile PATH] [-memprofile PATH]
 //
 // Without -only, every experiment runs in paper order. The eval scale
 // matches the values recorded in EXPERIMENTS.md; the test scale is a quick
@@ -23,6 +24,11 @@
 // entries recorded in BASELINE. Both imply serial job execution so
 // timings are not polluted by sibling experiments; otherwise independent
 // experiments run concurrently (disable with -serial).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the heap profile is taken after a final GC, so it shows
+// retained memory rather than transient garbage). Combine with -serial and
+// a single -parallelism value when attributing costs to one pipeline.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -273,6 +280,8 @@ func run(args []string) error {
 		baseline = fs.String("bench-check", "", "compare a fresh run against this baseline JSON; fail on >20% regression")
 		serial   = fs.Bool("serial", false, "run experiments one at a time even when not benchmarking")
 		faults   = fs.String("faults", "", "fault preset for the robustness experiment: off | light | heavy (empty = sweep all)")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memprof  = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this path at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -282,6 +291,34 @@ func run(args []string) error {
 			fmt.Println(j.name)
 		}
 		return nil
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aegis-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "aegis-bench: memprofile:", err)
+			}
+		}()
 	}
 	var sc experiment.Scale
 	switch *scale {

@@ -322,15 +322,20 @@ func TrainClassifier(ds *trace.Dataset, cfg TrainConfig) (*Classifier, []ml.Epoc
 	return &Classifier{mlp: model, labels: labels, norm: norm}, stats, nil
 }
 
+// PredictIndex returns the predicted secret of a single trace as its dense
+// label index. Bulk evaluation goes through this form so per-trace
+// comparisons stay on integers instead of round-tripping index → name →
+// index through the label table.
+func (c *Classifier) PredictIndex(tr trace.Trace) (int, error) {
+	if c.cnn != nil {
+		return c.cnn.Predict(channels(tr, c.norm))
+	}
+	return c.mlp.Predict(featurize(tr, c.norm))
+}
+
 // Predict returns the predicted secret of a single trace.
 func (c *Classifier) Predict(tr trace.Trace) (string, error) {
-	var idx int
-	var err error
-	if c.cnn != nil {
-		idx, err = c.cnn.Predict(channels(tr, c.norm))
-	} else {
-		idx, err = c.mlp.Predict(featurize(tr, c.norm))
-	}
+	idx, err := c.PredictIndex(tr)
 	if err != nil {
 		return "", err
 	}
@@ -345,11 +350,11 @@ func (c *Classifier) Evaluate(ds *trace.Dataset) (float64, error) {
 	}
 	correct := 0
 	for _, tr := range ds.Traces {
-		pred, err := c.Predict(tr)
+		pred, err := c.PredictIndex(tr)
 		if err != nil {
 			return 0, err
 		}
-		if pred == tr.Label {
+		if pred == c.labels.Index(tr.Label) {
 			correct++
 		}
 	}
@@ -376,13 +381,12 @@ func (c *Classifier) ConfusionMatrix(ds *trace.Dataset) ([][]int, []string, erro
 		if truth < 0 {
 			continue // trace labelled with a class unseen in training
 		}
-		pred, err := c.Predict(tr)
+		pred, err := c.PredictIndex(tr)
 		if err != nil {
 			return nil, nil, err
 		}
-		p := c.labels.Index(pred)
-		if p >= 0 {
-			m[truth][p]++
+		if pred >= 0 && pred < n {
+			m[truth][pred]++
 		}
 	}
 	return m, c.labels.Names(), nil

@@ -63,9 +63,15 @@ func TrainTemplateAttack(ds *trace.Dataset) (*TemplateAttack, error) {
 	return &TemplateAttack{model: model, labels: labels, norm: norm}, nil
 }
 
+// PredictIndex returns the maximum-likelihood secret for a trace as its
+// dense label index.
+func (a *TemplateAttack) PredictIndex(tr trace.Trace) (int, error) {
+	return a.model.Predict(templateFeatures(tr, a.norm))
+}
+
 // Predict returns the maximum-likelihood secret for a trace.
 func (a *TemplateAttack) Predict(tr trace.Trace) (string, error) {
-	idx, err := a.model.Predict(templateFeatures(tr, a.norm))
+	idx, err := a.PredictIndex(tr)
 	if err != nil {
 		return "", err
 	}
@@ -79,11 +85,11 @@ func (a *TemplateAttack) Evaluate(ds *trace.Dataset) (float64, error) {
 	}
 	correct := 0
 	for _, tr := range ds.Traces {
-		pred, err := a.Predict(tr)
+		pred, err := a.PredictIndex(tr)
 		if err != nil {
 			return 0, err
 		}
-		if pred == tr.Label {
+		if pred == a.labels.Index(tr.Label) {
 			correct++
 		}
 	}

@@ -169,7 +169,7 @@ func TestSignatureMemoIsPure(t *testing.T) {
 			t.Fatalf("signature not pure at signal %d", i)
 		}
 	}
-	if _, ok := f1.memo.lookup(g.ClusterKey(), g.Key()); !ok {
-		t.Error("signature not cached under its cluster key")
+	if _, ok := f1.memo.lookup(g.id()); !ok {
+		t.Error("signature not cached under its gadget ID")
 	}
 }

@@ -78,6 +78,14 @@ func (g Gadget) Key() string {
 	return g.Reset.Key() + " ; " + g.Trigger.Key()
 }
 
+// gadgetID is the gadget's dense identity: the stable isa.Variant IDs of
+// its reset and trigger. All gadgets of a Fuzzer are drawn from one legal
+// list, within which variant IDs are unique, so the pair identifies the
+// gadget as precisely as Key() — without assembling a string per lookup.
+type gadgetID [2]int
+
+func (g Gadget) id() gadgetID { return gadgetID{g.Reset.ID, g.Trigger.ID} }
+
 // ClusterKey groups gadgets by the instruction properties that indicate
 // their micro-architectural root cause (paper §VI-F: extension and
 // category of reset and trigger).
@@ -214,37 +222,33 @@ type gadgetSig struct {
 	total []float64
 }
 
-// screenMemo is the cross-event screening memo: signatures keyed by
-// Gadget.ClusterKey() then Gadget.Key(), shared by every event shard of a
+// screenMemo is the cross-event screening memo: signatures keyed by the
+// dense gadgetID (the reset/trigger variant IDs the sampling loop already
+// holds — no per-lookup string assembly), shared by every event shard of a
 // campaign and by MinimalCover. Because cached values are pure, a hit
 // returns exactly what recomputation would, keeping results independent of
 // worker count and scheduling order.
 type screenMemo struct {
-	mu       sync.Mutex
-	clusters map[string]map[string]gadgetSig
+	mu   sync.Mutex
+	sigs map[gadgetID]gadgetSig
 }
 
 // lookup returns the cached signature for a gadget, if present.
-func (m *screenMemo) lookup(cluster, key string) (gadgetSig, bool) {
+func (m *screenMemo) lookup(id gadgetID) (gadgetSig, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sig, ok := m.clusters[cluster][key]
+	sig, ok := m.sigs[id]
 	return sig, ok
 }
 
 // store caches a computed signature.
-func (m *screenMemo) store(cluster, key string, sig gadgetSig) {
+func (m *screenMemo) store(id gadgetID, sig gadgetSig) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.clusters == nil {
-		m.clusters = make(map[string]map[string]gadgetSig)
+	if m.sigs == nil {
+		m.sigs = make(map[gadgetID]gadgetSig)
 	}
-	byGadget := m.clusters[cluster]
-	if byGadget == nil {
-		byGadget = make(map[string]gadgetSig)
-		m.clusters[cluster] = byGadget
-	}
-	byGadget[key] = sig
+	m.sigs[id] = sig
 }
 
 // signature measures (or recalls) a gadget's noise-free signature. Both the
@@ -252,8 +256,8 @@ func (m *screenMemo) store(cluster, key string, sig gadgetSig) {
 // gadget screened during the campaign never pays for its cover measurement
 // again.
 func (f *Fuzzer) signature(g Gadget) (gadgetSig, error) {
-	cluster, key := g.ClusterKey(), g.Key()
-	if sig, ok := f.memo.lookup(cluster, key); ok {
+	id := g.id()
+	if sig, ok := f.memo.lookup(id); ok {
 		mMemoHits.Inc()
 		return sig, nil
 	}
@@ -277,7 +281,7 @@ func (f *Fuzzer) signature(g Gadget) (gadgetSig, error) {
 		warm:  afterWarm.Sub(afterCold).Vector(),
 		total: afterWarm.Sub(before).Vector(),
 	}
-	f.memo.store(cluster, key, sig)
+	f.memo.store(id, sig)
 	return sig, nil
 }
 
@@ -326,11 +330,17 @@ func New(legal []isa.Variant, cfg Config) (*Fuzzer, error) {
 }
 
 // bench is one measurement environment: an isolated core with a scratch
-// data page and a noise-free or noisy PMU.
+// data page and a noise-free or noisy PMU. The sample buffers below are
+// bench-owned scratch for the median confirmations, reused (and sorted in
+// place) across candidates so the measurement loop stays allocation-free;
+// a bench is single-owner like the PMU it wraps.
 type bench struct {
 	core *microarch.Core
 	ctx  *microarch.ExecContext
 	pmu  *hpc.PMU
+	vals []float64 // medianDelta samples
+	cold []float64 // repeatedTriggers cold-path samples
+	hot  []float64 // repeatedTriggers hot-path samples
 }
 
 func (f *Fuzzer) newBench(noise *rng.Source, faults *faultinject.Handle) *bench {
@@ -379,7 +389,7 @@ func (b *bench) measureGadget(event *hpc.Event, seq []isa.Variant) (float64, err
 // medianDelta runs the gadget n times and returns the median change
 // (multiple-executions confirmation, paper §VI-E).
 func (b *bench) medianDelta(event *hpc.Event, seq []isa.Variant, n int) (float64, error) {
-	vals := make([]float64, 0, n)
+	vals := b.vals[:0]
 	for i := 0; i < n; i++ {
 		v, err := b.measureGadget(event, seq)
 		if err != nil {
@@ -387,7 +397,9 @@ func (b *bench) medianDelta(event *hpc.Event, seq []isa.Variant, n int) (float64
 		}
 		vals = append(vals, v)
 	}
-	return stats.Median(vals), nil
+	b.vals = vals
+	sort.Float64s(vals)
+	return stats.SortedMedian(vals), nil
 }
 
 // repeatedTriggers applies the cold/hot path check of paper §VI-E (Fig. 6):
@@ -396,8 +408,8 @@ func (b *bench) medianDelta(event *hpc.Event, seq []isa.Variant, n int) (float64
 // the trigger, and the reset must restore S0 each iteration.
 func (b *bench) repeatedTriggers(event *hpc.Event, g Gadget, cfg Config) (bool, error) {
 	R := cfg.Repeats
-	coldSingle := make([]float64, 0, R)
-	hotSingle := make([]float64, 0, R)
+	coldSingle := b.cold[:0]
+	hotSingle := b.hot[:0]
 	var v1Cum, v2Cum float64
 
 	// Cold path: reset only.
@@ -418,8 +430,11 @@ func (b *bench) repeatedTriggers(event *hpc.Event, g Gadget, cfg Config) (bool, 
 		hotSingle = append(hotSingle, v)
 		v2Cum += v
 	}
-	v1 := stats.Median(coldSingle)
-	v2 := stats.Median(hotSingle)
+	b.cold, b.hot = coldSingle, hotSingle
+	sort.Float64s(coldSingle)
+	sort.Float64s(hotSingle)
+	v1 := stats.SortedMedian(coldSingle)
+	v2 := stats.SortedMedian(hotSingle)
 	diff := v2 - v1
 	if diff < cfg.MinDelta {
 		return false, nil
@@ -709,13 +724,16 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 			hCoverSeconds.Observe(d.Seconds())
 		}
 	}()
-	// Candidate pool: all representatives.
+	// Candidate pool: all representatives, deduplicated by dense gadget
+	// identity. (The pool order below still sorts by Key() — the greedy
+	// cover's tie-breaks must stay byte-identical to the string-keyed
+	// implementation.)
 	var pool []Finding
-	seen := make(map[string]bool)
+	seen := make(map[gadgetID]bool)
 	for _, reps := range res.Representatives {
 		for _, fd := range reps {
-			if !seen[fd.Gadget.Key()] {
-				seen[fd.Gadget.Key()] = true
+			if !seen[fd.Gadget.id()] {
+				seen[fd.Gadget.id()] = true
 				pool = append(pool, fd)
 			}
 		}

@@ -1,6 +1,7 @@
 package fuzzer
 
 import (
+	"sort"
 	"strings"
 
 	"github.com/repro/aegis/internal/hpc"
@@ -55,8 +56,8 @@ type SeqFinding struct {
 // gadget, both R times; the λ1/λ2 constraints are unchanged.
 func (b *bench) repeatedTriggersSeq(event *hpc.Event, reset, full []isa.Variant, cfg Config) (bool, error) {
 	R := cfg.Repeats
-	coldSingle := make([]float64, 0, R)
-	hotSingle := make([]float64, 0, R)
+	coldSingle := b.cold[:0]
+	hotSingle := b.hot[:0]
 	var v1Cum, v2Cum float64
 	for i := 0; i < R; i++ {
 		v, err := b.measureGadget(event, reset)
@@ -74,8 +75,11 @@ func (b *bench) repeatedTriggersSeq(event *hpc.Event, reset, full []isa.Variant,
 		hotSingle = append(hotSingle, v)
 		v2Cum += v
 	}
-	v1 := stats.Median(coldSingle)
-	v2 := stats.Median(hotSingle)
+	b.cold, b.hot = coldSingle, hotSingle
+	sort.Float64s(coldSingle)
+	sort.Float64s(hotSingle)
+	v1 := stats.SortedMedian(coldSingle)
+	v2 := stats.SortedMedian(hotSingle)
 	diff := v2 - v1
 	if diff < cfg.MinDelta {
 		return false, nil

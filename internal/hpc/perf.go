@@ -50,6 +50,7 @@ type PerfSession struct {
 	counts     []float64 // per event: raw accumulated count while live
 	last       microarch.Counters
 	started    bool
+	vec        []float64 // scratch: per-tick delta flattening, reused
 }
 
 // OpenPerfSession opens a monitoring session over the given events.
@@ -102,7 +103,8 @@ func (s *PerfSession) Tick(now microarch.Counters) {
 	}
 	delta := now.Sub(s.last)
 	s.last = now
-	vec := delta.Vector()
+	s.vec = delta.VectorInto(s.vec)
+	vec := s.vec
 	mPerfTicks.Inc()
 	if len(s.groups) > 1 {
 		mMultiplexRotations.Inc()
@@ -152,14 +154,25 @@ func (s *PerfSession) Read(i int) (float64, error) {
 
 // ReadAll returns the scaled estimates for every event, in open order.
 func (s *PerfSession) ReadAll() []float64 {
-	out := make([]float64, len(s.events))
+	return s.ReadAllInto(nil)
+}
+
+// ReadAllInto writes the scaled estimates for every event into dst, in
+// open order, reusing dst's backing array when it has the capacity. The
+// filled slice is returned.
+func (s *PerfSession) ReadAllInto(dst []float64) []float64 {
+	if cap(dst) < len(s.events) {
+		dst = make([]float64, len(s.events))
+	}
+	dst = dst[:len(s.events)]
 	for i := range s.events {
 		v, err := s.Read(i)
-		if err == nil {
-			out[i] = v
+		if err != nil {
+			v = 0
 		}
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // Events returns the monitored events in open order.

@@ -3,6 +3,7 @@ package hpc
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/microarch"
@@ -39,17 +40,24 @@ var (
 // occasional interrupt-induced spikes, reproducing the paper's observation
 // (challenge C2) that HPCs never count precisely.
 //
+// Slots are value-typed and the delta flattening reuses a PMU-owned scratch
+// vector, so Program/RDPMC/Reset are allocation-free in steady state
+// (gated by `make bench-alloc`).
+//
 // A PMU is not safe for concurrent use: like real hardware it is per-core
 // state, and parallel pipeline workers must each program their own.
 type PMU struct {
 	core   *microarch.Core
 	noise  *rng.Source
 	faults *faultinject.Handle
-	slots  [NumCounterRegisters]*pmcSlot
+	slots  [NumCounterRegisters]pmcSlot
+	// vec is the scratch buffer RDPMC flattens counter deltas into; one
+	// per PMU is enough because a PMU is single-owner by contract.
+	vec []float64
 }
 
 type pmcSlot struct {
-	event *Event
+	event *Event // nil while the slot is unprogrammed
 	base  microarch.Counters
 	// drift accumulates the noise already reported so that repeated RDPMC
 	// reads of an unchanged counter stay monotonic and consistent.
@@ -64,7 +72,7 @@ type pmcSlot struct {
 // NewPMU attaches a PMU to a core. The noise source may be nil for exact
 // (noise-free) reads, which the tests use to verify derivations.
 func NewPMU(core *microarch.Core, noise *rng.Source) *PMU {
-	return &PMU{core: core, noise: noise}
+	return &PMU{core: core, noise: noise, vec: make([]float64, microarch.NumSignals)}
 }
 
 // SetFaults attaches a fault-injection schedule to this PMU's read path.
@@ -74,7 +82,7 @@ func (p *PMU) SetFaults(h *faultinject.Handle) { p.faults = h }
 // Saturated reports whether a slot's counter is latched at its overflow
 // cap. Only Program clears the latch.
 func (p *PMU) Saturated(slot int) bool {
-	if slot < 0 || slot >= NumCounterRegisters || p.slots[slot] == nil {
+	if slot < 0 || slot >= NumCounterRegisters {
 		return false
 	}
 	return p.slots[slot].saturated
@@ -88,14 +96,14 @@ func (p *PMU) Program(slot int, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
-	p.slots[slot] = &pmcSlot{event: e, base: p.core.Counters()}
+	p.slots[slot] = pmcSlot{event: e, base: p.core.Counters()}
 	mPMUPrograms.Inc()
 	return nil
 }
 
 // Programmed returns the event loaded in a slot, or nil.
 func (p *PMU) Programmed(slot int) *Event {
-	if slot < 0 || slot >= NumCounterRegisters || p.slots[slot] == nil {
+	if slot < 0 || slot >= NumCounterRegisters {
 		return nil
 	}
 	return p.slots[slot].event
@@ -107,8 +115,8 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 	if slot < 0 || slot >= NumCounterRegisters {
 		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
 	}
-	s := p.slots[slot]
-	if s == nil {
+	s := &p.slots[slot]
+	if s.event == nil {
 		return 0, ErrSlotEmpty
 	}
 	mRDPMCReads.Inc()
@@ -123,7 +131,8 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 		return latch, nil
 	}
 	delta := p.core.Counters().Sub(s.base)
-	v := s.event.Value(delta.Vector())
+	p.vec = delta.VectorInto(p.vec)
+	v := s.event.Value(p.vec)
 	if p.noise != nil && s.event.NoiseSigma > 0 {
 		// Relative jitter proportional to the accumulated count plus a
 		// small absolute floor so idle counters also wobble.
@@ -146,8 +155,8 @@ func (p *PMU) Reset(slot int) error {
 	if slot < 0 || slot >= NumCounterRegisters {
 		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
 	}
-	s := p.slots[slot]
-	if s == nil {
+	s := &p.slots[slot]
+	if s.event == nil {
 		return ErrSlotEmpty
 	}
 	s.base = p.core.Counters()
@@ -156,19 +165,44 @@ func (p *PMU) Reset(slot int) error {
 	return nil
 }
 
-// ReadAll reads every programmed slot, returning a map from event name to
-// value.
-func (p *PMU) ReadAll() map[string]float64 {
-	out := make(map[string]float64, NumCounterRegisters)
-	for i, s := range p.slots {
-		if s == nil {
+// ReadAllInto reads every counter register into dst, indexed by slot
+// number — the dense, allocation-free form of ReadAll. Unprogrammed slots
+// and failed reads are reported as NaN (a counter value is never NaN, so
+// the sentinel is unambiguous). dst's backing array is reused when it has
+// capacity for NumCounterRegisters elements; the filled slice is returned.
+func (p *PMU) ReadAllInto(dst []float64) []float64 {
+	if cap(dst) < NumCounterRegisters {
+		dst = make([]float64, NumCounterRegisters)
+	}
+	dst = dst[:NumCounterRegisters]
+	for i := range p.slots {
+		if p.slots[i].event == nil {
+			dst[i] = math.NaN()
 			continue
 		}
 		v, err := p.RDPMC(i)
 		if err != nil {
+			dst[i] = math.NaN()
 			continue
 		}
-		out[s.event.Name] = v
+		dst[i] = v
+	}
+	return dst
+}
+
+// ReadAll reads every programmed slot, returning a map from event name to
+// value. It is a compatibility wrapper over ReadAllInto; per-tick readers
+// should use ReadAllInto (or slot-indexed RDPMC) to avoid the map
+// allocation.
+func (p *PMU) ReadAll() map[string]float64 {
+	var buf [NumCounterRegisters]float64
+	vals := p.ReadAllInto(buf[:])
+	out := make(map[string]float64, NumCounterRegisters)
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		out[p.slots[i].event.Name] = v
 	}
 	return out
 }

@@ -1,0 +1,82 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/aegis/internal/isa"
+	"github.com/repro/aegis/internal/microarch"
+	"github.com/repro/aegis/internal/rng"
+)
+
+// twinPMU builds a (core, PMU) pair with a fixed noise seed, programs the
+// named events into the given slots, and runs the same instruction stream —
+// so two calls produce bit-identical counter and noise state.
+func twinPMU(t *testing.T, slots map[int]string) *PMU {
+	t.Helper()
+	core := microarch.NewCore(0, microarch.DefaultCoreConfig(), nil)
+	pmu := NewPMU(core, rng.New(99).Split("noise"))
+	cat := NewAMDEpyc7252Catalog(1)
+	for slot, name := range slots {
+		if err := pmu.Program(slot, cat.MustByName(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legal := isa.Cleanup(isa.SpecAMDEpyc(1), isa.AMDEpycFeatures()).Legal
+	ctx := microarch.NewScratchContext(0x2000_0000)
+	for rep := 0; rep < 3; rep++ {
+		if err := core.ExecuteSequence(legal[:8], ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pmu
+}
+
+// TestReadAllMatchesReadAllInto pins the map-returning compatibility
+// wrapper bit-identically against the dense bulk read: same values for
+// programmed slots (including the noise stream), NaN sentinels (dense) /
+// absent keys (map) for unprogrammed ones.
+func TestReadAllMatchesReadAllInto(t *testing.T) {
+	slots := map[int]string{0: "RETIRED_UOPS", 2: "LS_DISPATCH"}
+	// Two identically-built PMUs: reads consume the noise stream, so the
+	// two forms must be compared across twins, not sequentially on one.
+	mapped := twinPMU(t, slots).ReadAll()
+	dense := twinPMU(t, slots).ReadAllInto(nil)
+
+	if len(dense) != NumCounterRegisters {
+		t.Fatalf("ReadAllInto returned %d values, want %d", len(dense), NumCounterRegisters)
+	}
+	if len(mapped) != len(slots) {
+		t.Fatalf("ReadAll returned %d entries, want %d: %v", len(mapped), len(slots), mapped)
+	}
+	for slot, name := range slots {
+		mv, ok := mapped[name]
+		if !ok {
+			t.Fatalf("ReadAll missing programmed event %q", name)
+		}
+		if math.Float64bits(mv) != math.Float64bits(dense[slot]) {
+			t.Errorf("slot %d (%s): ReadAll = %v, ReadAllInto = %v", slot, name, mv, dense[slot])
+		}
+	}
+	for _, slot := range []int{1, 3} {
+		if !math.IsNaN(dense[slot]) {
+			t.Errorf("unprogrammed slot %d: ReadAllInto = %v, want NaN", slot, dense[slot])
+		}
+	}
+}
+
+// TestReadAllIntoReusesBuffer verifies the dense read fills a caller buffer
+// in place when it has capacity, and allocates only when it does not.
+func TestReadAllIntoReusesBuffer(t *testing.T) {
+	pmu := twinPMU(t, map[int]string{0: "RETIRED_UOPS"})
+	buf := make([]float64, 0, NumCounterRegisters)
+	out := pmu.ReadAllInto(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("ReadAllInto did not reuse the caller's backing array")
+	}
+	short := make([]float64, 0, 1)
+	out2 := pmu.ReadAllInto(short)
+	if len(out2) != NumCounterRegisters {
+		t.Fatalf("ReadAllInto on short buffer returned %d values", len(out2))
+	}
+}

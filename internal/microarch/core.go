@@ -99,24 +99,57 @@ func (c Counters) Sub(prev Counters) Counters {
 // Vector flattens the counters into a fixed-order float slice; the hpc
 // event catalog addresses raw signals by these indices.
 func (c Counters) Vector() []float64 {
-	return []float64{
-		float64(c.Cycles), float64(c.Instructions), float64(c.UopsRetired),
-		float64(c.LoadsDisp), float64(c.StoresDisp),
-		float64(c.L1DAccesses), float64(c.L1DMisses), float64(c.L1DWrites),
-		float64(c.RefillsFromL2), float64(c.RefillsFromSystem),
-		float64(c.L1IAccesses), float64(c.L1IMisses),
-		float64(c.L2Accesses), float64(c.L2Misses),
-		float64(c.MABAllocations),
-		float64(c.DTLBAccesses), float64(c.DTLBMisses), float64(c.ITLBMisses),
-		float64(c.BranchesRet), float64(c.BranchMispred),
-		float64(c.X87Ops), float64(c.SSEOps), float64(c.AVXOps),
-		float64(c.MulOps), float64(c.DivOps), float64(c.BitOps),
-		float64(c.StringOps), float64(c.CryptoOps),
-		float64(c.Prefetches), float64(c.CacheFlushes), float64(c.Fences),
-		float64(c.SerializeOps), float64(c.StackOps),
-		float64(c.MemReads), float64(c.MemWrites),
-		float64(c.PageFaults), float64(c.Interrupts), float64(c.CtxSwitches),
+	return c.VectorInto(nil)
+}
+
+// VectorInto writes the counters into dst in Vector order and returns the
+// filled slice. dst's backing array is reused when it has capacity for
+// NumSignals elements, so per-tick readers can flatten deltas without
+// allocating.
+func (c Counters) VectorInto(dst []float64) []float64 {
+	if cap(dst) < NumSignals {
+		dst = make([]float64, NumSignals)
 	}
+	dst = dst[:NumSignals]
+	dst[0] = float64(c.Cycles)
+	dst[1] = float64(c.Instructions)
+	dst[2] = float64(c.UopsRetired)
+	dst[3] = float64(c.LoadsDisp)
+	dst[4] = float64(c.StoresDisp)
+	dst[5] = float64(c.L1DAccesses)
+	dst[6] = float64(c.L1DMisses)
+	dst[7] = float64(c.L1DWrites)
+	dst[8] = float64(c.RefillsFromL2)
+	dst[9] = float64(c.RefillsFromSystem)
+	dst[10] = float64(c.L1IAccesses)
+	dst[11] = float64(c.L1IMisses)
+	dst[12] = float64(c.L2Accesses)
+	dst[13] = float64(c.L2Misses)
+	dst[14] = float64(c.MABAllocations)
+	dst[15] = float64(c.DTLBAccesses)
+	dst[16] = float64(c.DTLBMisses)
+	dst[17] = float64(c.ITLBMisses)
+	dst[18] = float64(c.BranchesRet)
+	dst[19] = float64(c.BranchMispred)
+	dst[20] = float64(c.X87Ops)
+	dst[21] = float64(c.SSEOps)
+	dst[22] = float64(c.AVXOps)
+	dst[23] = float64(c.MulOps)
+	dst[24] = float64(c.DivOps)
+	dst[25] = float64(c.BitOps)
+	dst[26] = float64(c.StringOps)
+	dst[27] = float64(c.CryptoOps)
+	dst[28] = float64(c.Prefetches)
+	dst[29] = float64(c.CacheFlushes)
+	dst[30] = float64(c.Fences)
+	dst[31] = float64(c.SerializeOps)
+	dst[32] = float64(c.StackOps)
+	dst[33] = float64(c.MemReads)
+	dst[34] = float64(c.MemWrites)
+	dst[35] = float64(c.PageFaults)
+	dst[36] = float64(c.Interrupts)
+	dst[37] = float64(c.CtxSwitches)
+	return dst
 }
 
 // SignalNames lists the raw signal names in Vector order.

@@ -156,11 +156,15 @@ func NewDStarMechanism(epsilon, sensitivity float64, r *rng.Source) (*DStarMecha
 	if sensitivity <= 0 {
 		sensitivity = 1
 	}
+	// Pre-size the memo to its Commit eviction plateau so steady-state
+	// inserts reuse existing buckets instead of growing the table.
+	noiseAt := make(map[int64]float64, 4096)
+	noiseAt[0] = 0
 	return &DStarMechanism{
 		Epsilon:     epsilon,
 		Sensitivity: sensitivity,
 		calc:        NewNoiseCalculator(4096, r),
-		noiseAt:     map[int64]float64{0: 0},
+		noiseAt:     noiseAt,
 	}, nil
 }
 

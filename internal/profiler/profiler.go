@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/repro/aegis/internal/hpc"
@@ -108,6 +109,19 @@ type Profiler struct {
 	cfg     Config
 	lib     *workload.Library
 	root    *rng.Source
+	// scorePool recycles per-worker scoring scratch (series slab, PCA/MI
+	// arena) across the thousands of scoreEvent calls a ranking makes.
+	// Pooling is safe because scoreEvent is pure: the scratch never
+	// carries state between calls, only capacity.
+	scorePool sync.Pool
+}
+
+// scoreScratch is one worker's reusable scoring buffers.
+type scoreScratch struct {
+	slab  []float64   // all per-trace series, back to back
+	all   [][]float64 // row views into slab
+	feats []float64
+	st    stats.Scratch
 }
 
 // New builds a profiler for the catalog.
@@ -133,12 +147,14 @@ func New(catalog *hpc.Catalog, cfg Config) *Profiler {
 	if cfg.World.PhysicalCores == 0 {
 		cfg.World = sev.DefaultConfig(cfg.Seed)
 	}
-	return &Profiler{
+	p := &Profiler{
 		catalog: catalog,
 		cfg:     cfg,
 		lib:     workload.DefaultLibrary(cfg.Seed),
 		root:    rng.New(cfg.Seed).Split("profiler"),
 	}
+	p.scorePool.New = func() any { return new(scoreScratch) }
+	return p
 }
 
 // rawTrace collects per-tick raw signal deltas from the core backing the
@@ -170,12 +186,17 @@ func (p *Profiler) rawTrace(app workload.App, secret string, ticks int, stream *
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]float64, 0, ticks)
+	// One slab for the whole trace: ticks rows are carved out of a single
+	// allocation instead of one make per tick.
+	out := make([][]float64, ticks)
+	slab := make([]float64, ticks*microarch.NumSignals)
 	prev := core.Counters()
 	for i := 0; i < ticks; i++ {
 		world.Step()
 		now := core.Counters()
-		out = append(out, now.Sub(prev).Vector())
+		row := slab[i*microarch.NumSignals : (i+1)*microarch.NumSignals : (i+1)*microarch.NumSignals]
+		now.Sub(prev).VectorInto(row)
+		out[i] = row
 		prev = now
 	}
 	return out, nil
@@ -323,34 +344,56 @@ func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEv
 			hMIScoreSeconds.Observe(time.Since(scoreStart).Seconds())
 		}()
 	}
-	// Build per-trace event time series.
-	all := make([][]float64, 0, len(raws)*p.cfg.RankRepeats)
-	bySecret := make([][][]float64, len(raws))
+	// All intermediates are staged in pooled per-worker scratch: the
+	// series slab, the PCA fit and the MI grids only allocate until each
+	// worker's buffers reach the campaign's trace shape.
+	sc := p.scorePool.Get().(*scoreScratch)
+	defer p.scorePool.Put(sc)
+
+	// Build per-trace event time series, back to back in one slab.
+	total := 0
 	for si := range raws {
 		for _, raw := range raws[si].traces {
-			series := make([]float64, len(raw))
+			total += len(raw)
+		}
+	}
+	if cap(sc.slab) < total {
+		sc.slab = make([]float64, total)
+	}
+	sc.slab = sc.slab[:total]
+	all := sc.all[:0]
+	off := 0
+	for si := range raws {
+		for _, raw := range raws[si].traces {
+			series := sc.slab[off : off+len(raw) : off+len(raw)]
+			off += len(raw)
 			for t, sig := range raw {
 				series[t] = e.Value(sig)
 			}
 			all = append(all, series)
-			bySecret[si] = append(bySecret[si], series)
 		}
 	}
+	sc.all = all
 	// Feature extraction over the full trace population: the paper's
 	// PCA first component, or the raw sum for the ablation.
 	var pca *stats.PCA
 	if !p.cfg.RawMeanFeature {
 		var err error
-		pca, err = stats.FitPCA(all, 1)
+		pca, err = sc.st.FitPCA(all, 1)
 		if err != nil {
 			mRankDegenerate.Inc()
 			return nil // degenerate event; cannot be ranked
 		}
 	}
+	// classes escapes in the returned RankedEvent, so it is the one
+	// allocation this function keeps.
 	classes := make([]stats.ClassModel, 0, len(raws))
+	secStart := 0
 	for si := range raws {
-		feats := make([]float64, 0, len(bySecret[si]))
-		for _, series := range bySecret[si] {
+		secSeries := all[secStart : secStart+len(raws[si].traces)]
+		secStart += len(raws[si].traces)
+		feats := sc.feats[:0]
+		for _, series := range secSeries {
 			var f float64
 			if pca != nil {
 				var err error
@@ -366,6 +409,7 @@ func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEv
 			}
 			feats = append(feats, f)
 		}
+		sc.feats = feats
 		g, err := stats.FitGaussian(feats)
 		if err != nil {
 			mRankDegenerate.Inc()
@@ -373,7 +417,7 @@ func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEv
 		}
 		classes = append(classes, stats.ClassModel{Secret: raws[si].secret, Dist: g})
 	}
-	mi, err := stats.MutualInformation(classes, p.cfg.QuadratureSteps)
+	mi, err := sc.st.MutualInformation(classes, p.cfg.QuadratureSteps)
 	if err != nil {
 		mRankDegenerate.Inc()
 		return nil

@@ -160,9 +160,25 @@ type vcpu struct {
 	// added later could never delay an earlier one, and the obfuscator
 	// would impose no latency on the protected application).
 	nextFirst int
-	// usage history: fraction of tick budget consumed, one entry per tick.
-	usage []float64
+	// exec is the per-tick guest executor, reused every Step so the tick
+	// loop stays allocation-free. Processes must not retain it across
+	// ticks (the Process.Step contract).
+	exec GuestExecutor
+	// usage history: fraction of tick budget consumed per tick. The
+	// all-time aggregate lives in usageSum/usageTicks; per-tick samples
+	// are kept in a fixed ring of the last usageWindow ticks so long runs
+	// do not grow memory per tick. Windowed queries larger than the ring
+	// fall back to the ring's span (no current caller asks for one).
+	usageRing  []float64
+	usageLen   int // filled ring entries, <= usageWindow
+	usageNext  int // next ring write position
+	usageSum   float64
+	usageTicks int64
 }
+
+// usageWindow is the per-vcpu utilisation history retained for windowed
+// CPUUsage queries; beyond it only the all-time mean survives.
+const usageWindow = 4096
 
 // VM is a guest virtual machine.
 type VM struct {
@@ -191,14 +207,20 @@ type Attestation struct {
 
 // World is the simulated host machine.
 type World struct {
-	cfg    Config
-	cores  []*microarch.Core
-	vms    map[int]*VM
-	pinned map[int]*vcpu // physCore -> vcpu
-	nextVM int
-	tick   int64
-	rand   *rng.Source
-	faults *faultinject.Injector
+	cfg   Config
+	cores []*microarch.Core
+	vms   map[int]*VM
+	// vmOrder holds the live VMs in launch order; Step iterates it so the
+	// tick loop is allocation-free and deterministic instead of following
+	// Go's randomised map order. (Fault schedules are keyed by (vm, vcpu)
+	// labels, so behaviour never depended on iteration order — this pins
+	// the order anyway.)
+	vmOrder []*VM
+	pinned  map[int]*vcpu // physCore -> vcpu
+	nextVM  int
+	tick    int64
+	rand    *rng.Source
+	faults  *faultinject.Injector
 }
 
 // SetFaults attaches a fault injector to the world: vCPUs start suffering
@@ -349,6 +371,7 @@ func (w *World) LaunchVM(cfg VMConfig) (*VM, error) {
 		vc := &vcpu{
 			physCore:   core,
 			faultLabel: fmt.Sprintf("vm%d/vcpu%d", vm.id, i),
+			usageRing:  make([]float64, usageWindow),
 			ctx: microarch.NewWorkloadContext(
 				uint64(vm.id+1)<<32, 1<<20,
 				w.rand.SplitN(fmt.Sprintf("vm%d-vcpu", vm.id), i)),
@@ -357,6 +380,7 @@ func (w *World) LaunchVM(cfg VMConfig) (*VM, error) {
 		w.pinned[core] = vc
 	}
 	w.vms[vm.id] = vm
+	w.vmOrder = append(w.vmOrder, vm)
 	mVMsLaunched.Inc()
 	return vm, nil
 }
@@ -371,6 +395,12 @@ func (w *World) DestroyVM(id int) error {
 		delete(w.pinned, vc.physCore)
 	}
 	delete(w.vms, id)
+	for i, v := range w.vmOrder {
+		if v == vm {
+			w.vmOrder = append(w.vmOrder[:i:i], w.vmOrder[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -379,7 +409,7 @@ func (w *World) DestroyVM(id int) error {
 func (w *World) Step() {
 	w.tick++
 	mWorldTicks.Inc()
-	for _, vm := range w.vms {
+	for _, vm := range w.vmOrder {
 		for _, vc := range vm.vcpus {
 			mVCPUSteps.Inc()
 			core := w.cores[vc.physCore]
@@ -389,7 +419,8 @@ func (w *World) Step() {
 			// A preemption burst slashes the budget for this tick: the
 			// hypervisor is running something else (or single-stepping us).
 			budget := vc.faults.PreemptBudget(w.cfg.TickBudget)
-			g := &GuestExecutor{
+			g := &vc.exec
+			*g = GuestExecutor{
 				core:   core,
 				ctx:    vc.ctx,
 				budget: budget,
@@ -407,7 +438,14 @@ func (w *World) Step() {
 			if n > 0 {
 				vc.nextFirst = (vc.nextFirst + 1) % n
 			}
-			vc.usage = append(vc.usage, float64(g.used)/float64(w.cfg.TickBudget))
+			u := float64(g.used) / float64(w.cfg.TickBudget)
+			vc.usageSum += u
+			vc.usageTicks++
+			vc.usageRing[vc.usageNext] = u
+			vc.usageNext = (vc.usageNext + 1) % usageWindow
+			if vc.usageLen < usageWindow {
+				vc.usageLen++
+			}
 		}
 	}
 }
@@ -523,20 +561,30 @@ func (vm *VM) GuestWriteMemory(offset int, data []byte) error {
 
 // CPUUsage returns the vCPU's mean utilisation over the last n ticks, the
 // measurement the paper's host-side `top` sampling performs for Fig. 10.
+// lastN <= 0 (or larger than the history) means all ticks since launch.
+// Windowed queries are answered exactly from the retained ring when
+// lastN <= usageWindow; wider windows clamp to the ring's span.
 func (vm *VM) CPUUsage(vcpuIdx, lastN int) (float64, error) {
 	if vcpuIdx < 0 || vcpuIdx >= len(vm.vcpus) {
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchVCPU, vcpuIdx)
 	}
-	u := vm.vcpus[vcpuIdx].usage
-	if len(u) == 0 {
+	vc := vm.vcpus[vcpuIdx]
+	if vc.usageTicks == 0 {
 		return 0, nil
 	}
-	if lastN <= 0 || lastN > len(u) {
-		lastN = len(u)
+	if lastN <= 0 || int64(lastN) >= vc.usageTicks {
+		return vc.usageSum / float64(vc.usageTicks), nil
 	}
+	n := lastN
+	if n > vc.usageLen {
+		n = vc.usageLen
+	}
+	// Sum in chronological order, matching the pre-ring implementation's
+	// float rounding exactly.
+	start := vc.usageNext - n
 	var sum float64
-	for _, v := range u[len(u)-lastN:] {
-		sum += v
+	for i := 0; i < n; i++ {
+		sum += vc.usageRing[((start+i)%usageWindow+usageWindow)%usageWindow]
 	}
-	return sum / float64(lastN), nil
+	return sum / float64(n), nil
 }

@@ -93,11 +93,20 @@ func Median(xs []float64) float64 {
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
-	n := len(cp)
-	if n%2 == 1 {
-		return cp[n/2]
+	return SortedMedian(cp)
+}
+
+// SortedMedian is Median for samples already in ascending order: no copy,
+// no re-sort.
+func SortedMedian(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // MedianInt64 returns the median of integer samples, rounding half up.

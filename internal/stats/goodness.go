@@ -155,19 +155,30 @@ func Percentile(samples []float64, q float64) float64 {
 	cp := make([]float64, n)
 	copy(cp, samples)
 	sort.Float64s(cp)
+	return SortedPercentile(cp, q)
+}
+
+// SortedPercentile is Percentile for samples already in ascending order:
+// no copy, no re-sort. Tight loops that can keep their buffer sorted (or
+// sort a private buffer in place once) should use this form.
+func SortedPercentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
 	if q <= 0 {
-		return cp[0]
+		return sorted[0]
 	}
 	if q >= 100 {
-		return cp[n-1]
+		return sorted[n-1]
 	}
 	pos := q / 100 * float64(n-1)
 	lo := int(pos)
 	frac := pos - float64(lo)
 	if lo+1 >= n {
-		return cp[n-1]
+		return sorted[n-1]
 	}
-	return cp[lo]*(1-frac) + cp[lo+1]*frac
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Spearman returns the Spearman rank correlation of two equal-length

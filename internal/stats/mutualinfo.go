@@ -34,14 +34,23 @@ type ClassModel struct {
 // The integral is evaluated numerically over ±span standard deviations
 // around the widest class envelope with the given number of grid steps.
 // The result is in bits and lies in [0, H(Y)] up to quadrature error.
+//
+// Repeated evaluations should go through Scratch.MutualInformation, which
+// reuses the prior/posterior grids and produces bit-identical results.
 func MutualInformation(classes []ClassModel, steps int) (float64, error) {
+	return new(Scratch).MutualInformation(classes, steps)
+}
+
+// MutualInformation is MutualInformation staged in the arena.
+func (s *Scratch) MutualInformation(classes []ClassModel, steps int) (float64, error) {
 	if len(classes) == 0 {
 		return 0, ErrInsufficientData
 	}
 	if steps < 16 {
 		steps = 16
 	}
-	priors := make([]float64, len(classes))
+	s.priors = grow(s.priors, len(classes))
+	priors := s.priors
 	var total float64
 	for i, c := range classes {
 		if c.Prior < 0 {
@@ -80,10 +89,11 @@ func MutualInformation(classes []ClassModel, steps int) (float64, error) {
 	}
 
 	dx := (hi - lo) / float64(steps)
-	post := make([]float64, len(classes))
+	s.post = grow(s.post, len(classes))
+	post := s.post
 	var condEntropy float64
-	for s := 0; s < steps; s++ {
-		x := lo + (float64(s)+0.5)*dx
+	for step := 0; step < steps; step++ {
+		x := lo + (float64(step)+0.5)*dx
 		var px float64
 		for i, c := range classes {
 			post[i] = c.Dist.PDF(x) * priors[i]
@@ -111,7 +121,15 @@ func MutualInformation(classes []ClassModel, steps int) (float64, error) {
 // BinnedMI estimates the mutual information (in bits) between two paired
 // continuous samples using an equal-width 2-D histogram. This is the
 // estimator behind Fig. 9c: I(X;X') between clean and noised leakage traces.
+//
+// Repeated evaluations should go through Scratch.BinnedMI, which reuses
+// the joint/marginal tables and produces bit-identical results.
 func BinnedMI(xs, ys []float64, bins int) (float64, error) {
+	return new(Scratch).BinnedMI(xs, ys, bins)
+}
+
+// BinnedMI is BinnedMI staged in the arena.
+func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, fmt.Errorf("stats: paired samples length mismatch %d != %d", len(xs), len(ys))
 	}
@@ -129,12 +147,23 @@ func BinnedMI(xs, ys []float64, bins int) (float64, error) {
 	if yhi == ylo {
 		yhi = ylo + 1
 	}
-	joint := make([][]float64, bins)
+	s.jointRows = growRows(s.jointRows, bins)
+	s.jointSlab = grow(s.jointSlab, bins*bins)
+	joint := s.jointRows
 	for i := range joint {
-		joint[i] = make([]float64, bins)
+		row := s.jointSlab[i*bins : (i+1)*bins : (i+1)*bins]
+		for j := range row {
+			row[j] = 0
+		}
+		joint[i] = row
 	}
-	px := make([]float64, bins)
-	py := make([]float64, bins)
+	s.px = grow(s.px, bins)
+	s.py = grow(s.py, bins)
+	px, py := s.px, s.py
+	for i := range px {
+		px[i] = 0
+		py[i] = 0
+	}
 	n := float64(len(xs))
 	for i := range xs {
 		bx := binIndex(xs[i], xlo, xhi, bins)

@@ -17,7 +17,19 @@ type PCA struct {
 // using covariance eigendecomposition via orthogonal power iteration with
 // deflation. The paper uses PCA to reduce each leakage time-series to a
 // compact feature value before Gaussian modelling (paper §V-B).
+//
+// The result owns its buffers. Repeated fits of identically-shaped inputs
+// should go through Scratch.FitPCA, which reuses all intermediates and
+// produces bit-identical results.
 func FitPCA(rows [][]float64, k int) (*PCA, error) {
+	return new(Scratch).FitPCA(rows, k)
+}
+
+// FitPCA is FitPCA staged in the arena: the mean/centered/component
+// buffers and the power-iteration work vector are all reused across calls.
+// The returned *PCA aliases the arena and is valid until the next call on
+// s (see the Scratch ownership rules).
+func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 	n := len(rows)
 	if n < 2 {
 		return nil, ErrInsufficientData
@@ -32,7 +44,11 @@ func FitPCA(rows [][]float64, k int) (*PCA, error) {
 		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d)
 	}
 
-	mean := make([]float64, d)
+	s.mean = grow(s.mean, d)
+	mean := s.mean
+	for j := range mean {
+		mean[j] = 0
+	}
 	for _, r := range rows {
 		for j, v := range r {
 			mean[j] += v
@@ -42,26 +58,33 @@ func FitPCA(rows [][]float64, k int) (*PCA, error) {
 		mean[j] /= float64(n)
 	}
 
-	centered := make([][]float64, n)
+	s.centRows = growRows(s.centRows, n)
+	s.centSlab = grow(s.centSlab, n*d)
+	centered := s.centRows
 	for i, r := range rows {
-		c := make([]float64, d)
+		c := s.centSlab[i*d : (i+1)*d : (i+1)*d]
 		for j, v := range r {
 			c[j] = v - mean[j]
 		}
 		centered[i] = c
 	}
 
-	p := &PCA{
+	s.compRows = growRows(s.compRows, k)
+	s.compSlab = grow(s.compSlab, k*d)
+	s.vars = grow(s.vars, k)
+	s.w = grow(s.w, d)
+	s.pca = PCA{
 		Mean:       mean,
-		Components: make([][]float64, 0, k),
-		Variances:  make([]float64, 0, k),
+		Components: s.compRows[:0],
+		Variances:  s.vars[:0],
 	}
+	p := &s.pca
 
 	// Power iteration on the covariance operator. We never materialise the
 	// d×d covariance matrix: cov·v = (1/n) Σ_i (x_i·v) x_i, which keeps the
 	// cost at O(n·d) per iteration even for long traces.
 	for comp := 0; comp < k; comp++ {
-		v := make([]float64, d)
+		v := s.compSlab[comp*d : (comp+1)*d : (comp+1)*d]
 		// Deterministic non-degenerate start vector.
 		for j := range v {
 			v[j] = 1 / math.Sqrt(float64(d))
@@ -72,7 +95,8 @@ func FitPCA(rows [][]float64, k int) (*PCA, error) {
 		orthonormalize(v, p.Components)
 		var lambda float64
 		for iter := 0; iter < 200; iter++ {
-			w := covApply(centered, v)
+			w := s.w
+			covApplyInto(w, centered, v)
 			orthonormalize(w, p.Components)
 			norm := vecNorm(w)
 			if norm < 1e-14 {
@@ -114,18 +138,27 @@ func (p *PCA) Transform(row []float64) ([]float64, error) {
 }
 
 // FirstComponent projects a sample onto the leading principal direction and
-// returns the scalar feature value used for Gaussian modelling.
+// returns the scalar feature value used for Gaussian modelling. It is the
+// single-component Transform without the output allocation, so per-trace
+// feature extraction stays allocation-free.
 func (p *PCA) FirstComponent(row []float64) (float64, error) {
-	t, err := p.Transform(row)
-	if err != nil {
-		return 0, err
+	if len(row) != len(p.Mean) {
+		return 0, fmt.Errorf("stats: sample has %d features, PCA fitted on %d", len(row), len(p.Mean))
 	}
-	return t[0], nil
+	comp := p.Components[0]
+	var dot float64
+	for j, v := range row {
+		dot += (v - p.Mean[j]) * comp[j]
+	}
+	return dot, nil
 }
 
-func covApply(centered [][]float64, v []float64) []float64 {
-	d := len(v)
-	out := make([]float64, d)
+// covApplyInto writes cov·v into out (zeroing it first), the in-place form
+// of the power-iteration step.
+func covApplyInto(out []float64, centered [][]float64, v []float64) {
+	for j := range out {
+		out[j] = 0
+	}
 	for _, x := range centered {
 		var dot float64
 		for j := range v {
@@ -139,7 +172,6 @@ func covApply(centered [][]float64, v []float64) []float64 {
 	for j := range out {
 		out[j] /= n
 	}
-	return out
 }
 
 // orthonormalize removes the projections of v onto each basis vector

@@ -1,0 +1,93 @@
+package stats
+
+import "slices"
+
+// sortFloat64s sorts in place without allocating (slices.Sort, unlike a
+// sort.Interface round trip, never boxes).
+func sortFloat64s(xs []float64) { slices.Sort(xs) }
+
+// Scratch is a reusable buffer arena for the numeric kernels. The offline
+// pipelines call FitPCA / MutualInformation / BinnedMI thousands of times
+// per campaign with identically-shaped inputs; routing those calls through
+// a Scratch reuses every intermediate buffer across calls, making the
+// steady state allocation-free (gated by `make bench-alloc`).
+//
+// Ownership rules:
+//
+//   - A Scratch is single-owner: it is not safe for concurrent use. Each
+//     parallel worker must hold its own (the profiler pools them).
+//   - Results returned by Scratch methods (the *PCA, in particular) alias
+//     the arena and are valid only until the next call on the same
+//     Scratch. Callers that need to retain a result across calls must
+//     copy it out — or use the package-level functions, which allocate a
+//     fresh arena per call and therefore return independent results.
+//   - The zero value is ready to use; buffers grow to the high-water mark
+//     of the shapes seen and are then reused.
+//
+// Every kernel performs the exact floating-point operations of its
+// package-level counterpart in the same order, so scratch-backed results
+// are bit-identical to the allocating paths.
+type Scratch struct {
+	// FitPCA
+	mean     []float64
+	centRows [][]float64
+	centSlab []float64
+	compRows [][]float64
+	compSlab []float64
+	vars     []float64
+	w        []float64
+	pca      PCA
+
+	// MutualInformation
+	priors []float64
+	post   []float64
+
+	// BinnedMI
+	jointRows [][]float64
+	jointSlab []float64
+	px, py    []float64
+
+	// sortBuf backs copy-and-sort helpers (MedianOf / PercentileOf).
+	sortBuf []float64
+}
+
+// grow returns buf resized to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers that accumulate must zero.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growRows is grow for slices of rows.
+func growRows(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}
+
+// MedianOf returns the median of xs without modifying it, staging the
+// copy-and-sort in the arena's sort buffer.
+func (s *Scratch) MedianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s.sortBuf = grow(s.sortBuf, len(xs))
+	copy(s.sortBuf, xs)
+	sortFloat64s(s.sortBuf)
+	return SortedMedian(s.sortBuf)
+}
+
+// PercentileOf returns the q-th percentile of xs without modifying it,
+// staging the copy-and-sort in the arena's sort buffer.
+func (s *Scratch) PercentileOf(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s.sortBuf = grow(s.sortBuf, len(xs))
+	copy(s.sortBuf, xs)
+	sortFloat64s(s.sortBuf)
+	return SortedPercentile(s.sortBuf, q)
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/repro/aegis/internal/rng"
+)
+
+// testRows builds a deterministic sample matrix with correlated structure.
+func testRows(r *rng.Source, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		base := r.Gaussian(0, 2)
+		for j := range row {
+			row[j] = base*float64(j%5) + r.Gaussian(0, 1)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestScratchFitPCAEquivalence pins the scratch-staged PCA bit-identically
+// against the allocating path, including across reuses of the same arena
+// with different shapes.
+func TestScratchFitPCAEquivalence(t *testing.T) {
+	r := rng.New(42).Split("scratch-pca")
+	s := &Scratch{}
+	for _, shape := range []struct{ n, d, k int }{
+		{8, 12, 1}, {30, 40, 3}, {8, 12, 2}, {5, 3, 1},
+	} {
+		rows := testRows(r, shape.n, shape.d)
+		want, err := FitPCA(rows, shape.k)
+		if err != nil {
+			t.Fatalf("FitPCA(%v): %v", shape, err)
+		}
+		got, err := s.FitPCA(rows, shape.k)
+		if err != nil {
+			t.Fatalf("Scratch.FitPCA(%v): %v", shape, err)
+		}
+		for j := range want.Mean {
+			if math.Float64bits(got.Mean[j]) != math.Float64bits(want.Mean[j]) {
+				t.Fatalf("shape %v: mean[%d] = %v, want %v", shape, j, got.Mean[j], want.Mean[j])
+			}
+		}
+		if len(got.Components) != len(want.Components) {
+			t.Fatalf("shape %v: %d components, want %d", shape, len(got.Components), len(want.Components))
+		}
+		for c := range want.Components {
+			if math.Float64bits(got.Variances[c]) != math.Float64bits(want.Variances[c]) {
+				t.Fatalf("shape %v: variance[%d] = %v, want %v", shape, c, got.Variances[c], want.Variances[c])
+			}
+			for j := range want.Components[c] {
+				if math.Float64bits(got.Components[c][j]) != math.Float64bits(want.Components[c][j]) {
+					t.Fatalf("shape %v: component[%d][%d] = %v, want %v",
+						shape, c, j, got.Components[c][j], want.Components[c][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFirstComponentMatchesTransform pins the allocation-free projection
+// against the general Transform.
+func TestFirstComponentMatchesTransform(t *testing.T) {
+	r := rng.New(7).Split("first-comp")
+	rows := testRows(r, 20, 16)
+	p, err := FitPCA(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		tr, err := p.Transform(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := p.FirstComponent(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(fc) != math.Float64bits(tr[0]) {
+			t.Fatalf("row %d: FirstComponent = %v, Transform[0] = %v", i, fc, tr[0])
+		}
+	}
+	if _, err := p.FirstComponent(rows[0][:3]); err == nil {
+		t.Fatal("FirstComponent accepted a short row")
+	}
+}
+
+// TestScratchMIEquivalence pins scratch-staged MutualInformation and
+// BinnedMI bit-identically against the allocating paths.
+func TestScratchMIEquivalence(t *testing.T) {
+	s := &Scratch{}
+	for _, nc := range []int{2, 5, 9} {
+		classes := make([]ClassModel, nc)
+		for i := range classes {
+			classes[i] = ClassModel{
+				Secret: string(rune('a' + i)),
+				Prior:  float64(i + 1),
+				Dist:   Gaussian{Mu: float64(i) * 1.5, Sigma: 0.5 + 0.3*float64(i)},
+			}
+		}
+		want, err := MutualInformation(classes, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.MutualInformation(classes, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("nc=%d: scratch MI = %v, want %v", nc, got, want)
+		}
+	}
+
+	r := rng.New(9).Split("binned")
+	for _, bins := range []int{4, 16, 8} {
+		xs := make([]float64, 400)
+		ys := make([]float64, 400)
+		for i := range xs {
+			xs[i] = r.Gaussian(0, 1)
+			ys[i] = xs[i]*0.7 + r.Gaussian(0, 0.5)
+		}
+		want, err := BinnedMI(xs, ys, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.BinnedMI(xs, ys, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("bins=%d: scratch BinnedMI = %v, want %v", bins, got, want)
+		}
+	}
+}
+
+// TestSortedFastPathEquivalence pins SortedPercentile/SortedMedian and the
+// arena's MedianOf/PercentileOf against the copy-and-sort originals.
+func TestSortedFastPathEquivalence(t *testing.T) {
+	r := rng.New(11).Split("sorted")
+	s := &Scratch{}
+	for _, n := range []int{1, 2, 7, 100, 101} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Gaussian(5, 20)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{-1, 0, 0.3, 25, 50, 99.9, 100, 150} {
+			want := Percentile(xs, q)
+			if got := SortedPercentile(sorted, q); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d q=%v: SortedPercentile = %v, Percentile = %v", n, q, got, want)
+			}
+			if got := s.PercentileOf(xs, q); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d q=%v: PercentileOf = %v, Percentile = %v", n, q, got, want)
+			}
+		}
+		wantMed := Median(xs)
+		if got := SortedMedian(sorted); math.Float64bits(got) != math.Float64bits(wantMed) {
+			t.Fatalf("n=%d: SortedMedian = %v, Median = %v", n, got, wantMed)
+		}
+		if got := s.MedianOf(xs); math.Float64bits(got) != math.Float64bits(wantMed) {
+			t.Fatalf("n=%d: MedianOf = %v, Median = %v", n, got, wantMed)
+		}
+	}
+	if SortedMedian(nil) != 0 || SortedPercentile(nil, 50) != 0 {
+		t.Fatal("empty-input fast paths should return 0")
+	}
+}

@@ -69,26 +69,51 @@ func (l *Library) Classes() []isa.Class {
 // Mix is a weighted instruction-class distribution.
 type Mix map[isa.Class]float64
 
-// Sample draws a class proportional to the weights.
+// Sample draws a class proportional to the weights. Callers drawing in a
+// tight loop should compile the mix once instead (see compileMix): this
+// convenience form rebuilds the sorted class table on every call.
 func (m Mix) Sample(r *rng.Source) isa.Class {
-	var total float64
-	for _, w := range m {
+	return compileMix(m).sample(r)
+}
+
+// mixSampler is a Mix compiled to a sorted class/weight table, so per-
+// instruction draws dispatch on slice index without rebuilding and sorting
+// the class list per call. Sampling is draw-for-draw identical to
+// Mix.Sample: same RNG consumption, same class for the same draw.
+type mixSampler struct {
+	classes []isa.Class // all mix classes, ascending (incl. non-positive weights)
+	weights []float64
+	total   float64 // sum of positive weights
+}
+
+// compileMix builds the sampler for a mix. The original map is not
+// retained; mutating a Mix after compiling requires recompiling.
+func compileMix(m Mix) *mixSampler {
+	s := &mixSampler{
+		classes: make([]isa.Class, 0, len(m)),
+		weights: make([]float64, 0, len(m)),
+	}
+	for c := range m {
+		s.classes = append(s.classes, c)
+	}
+	sort.Slice(s.classes, func(i, j int) bool { return s.classes[i] < s.classes[j] })
+	for _, c := range s.classes {
+		w := m[c]
+		s.weights = append(s.weights, w)
 		if w > 0 {
-			total += w
+			s.total += w
 		}
 	}
-	if total == 0 {
+	return s
+}
+
+func (s *mixSampler) sample(r *rng.Source) isa.Class {
+	if s.total == 0 {
 		return isa.ClassNop
 	}
-	// Iterate classes in sorted order for determinism.
-	classes := make([]isa.Class, 0, len(m))
-	for c := range m {
-		classes = append(classes, c)
-	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-	x := r.Float64() * total
-	for _, c := range classes {
-		w := m[c]
+	x := r.Float64() * s.total
+	for i, c := range s.classes {
+		w := s.weights[i]
 		if w <= 0 {
 			continue
 		}
@@ -97,7 +122,7 @@ func (m Mix) Sample(r *rng.Source) isa.Class {
 		}
 		x -= w
 	}
-	return classes[len(classes)-1]
+	return s.classes[len(s.classes)-1]
 }
 
 // Phase is one stage of a job: a mix executed at a per-tick intensity until
@@ -157,24 +182,33 @@ type Runner struct {
 	// queued (0 disables idle activity).
 	IdleIntensity int
 	idleMix       Mix
+	idleSampler   *mixSampler
+	// sampler caches the compiled mix of the phase identified by
+	// samplerOf, so the per-instruction draw loop does not rebuild the
+	// sorted class table every tick. The pointer identity of the phase
+	// within the queued job is stable until the job advances.
+	sampler   *mixSampler
+	samplerOf *Phase
 }
 
 var _ sev.Process = (*Runner)(nil)
 
 // NewRunner builds a job runner named name.
 func NewRunner(name string, lib *Library, r *rng.Source) *Runner {
+	idleMix := Mix{
+		isa.ClassALU:    4,
+		isa.ClassLoad:   2,
+		isa.ClassStore:  1,
+		isa.ClassBranch: 2,
+		isa.ClassNop:    3,
+	}
 	return &Runner{
 		name:          name,
 		lib:           lib,
 		r:             r,
 		IdleIntensity: 20,
-		idleMix: Mix{
-			isa.ClassALU:    4,
-			isa.ClassLoad:   2,
-			isa.ClassStore:  1,
-			isa.ClassBranch: 2,
-			isa.ClassNop:    3,
-		},
+		idleMix:       idleMix,
+		idleSampler:   compileMix(idleMix),
 	}
 }
 
@@ -211,7 +245,11 @@ func (r *Runner) Step(g *sev.GuestExecutor) {
 	// Per-tick intensity jitter: real page loads and inferences never
 	// execute a metronome-exact instruction count per millisecond.
 	for r.phaseIdx < len(job.Phases) {
-		phase := job.Phases[r.phaseIdx]
+		phase := &job.Phases[r.phaseIdx]
+		if r.samplerOf != phase {
+			r.sampler = compileMix(phase.Mix)
+			r.samplerOf = phase
+		}
 		intensity := phase.Intensity
 		if intensity <= 0 {
 			intensity = 200
@@ -227,7 +265,7 @@ func (r *Runner) Step(g *sev.GuestExecutor) {
 		g.Context().WorkingSet = phase.WorkingSet
 		executed := 0
 		for executed < jittered {
-			v := r.lib.Sample(phase.Mix.Sample(r.r), r.r)
+			v := r.lib.Sample(r.sampler.sample(r.r), r.r)
 			ok, err := g.Execute(v)
 			if err != nil || !ok {
 				// Budget exhausted this tick; resume next tick.
@@ -257,7 +295,7 @@ func (r *Runner) Step(g *sev.GuestExecutor) {
 
 func (r *Runner) stepIdle(g *sev.GuestExecutor) {
 	for i := 0; i < r.IdleIntensity; i++ {
-		v := r.lib.Sample(r.idleMix.Sample(r.r), r.r)
+		v := r.lib.Sample(r.idleSampler.sample(r.r), r.r)
 		ok, err := g.Execute(v)
 		if err != nil || !ok {
 			return
