@@ -5,6 +5,11 @@
 // testing.AllocsPerRun. The file is excluded under -race because race
 // instrumentation itself allocates; `make race` still exercises the same
 // code paths for data races through the regular tests.
+//
+// These gates have a static twin: every function exercised here carries a
+// //aegis:hotpath annotation, and the aegis-lint hotpath rule (`make lint`,
+// internal/analysis/rule_hotpath.go) rejects allocating constructs in
+// annotated functions at review time, before a benchmark ever runs.
 package aegis
 
 import (

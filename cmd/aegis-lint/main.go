@@ -1,0 +1,22 @@
+// Command aegis-lint runs the project's static-analysis suite: the
+// determinism, hot-path, telemetry-naming, and error-wrapping rules
+// defined in internal/analysis (see DESIGN.md "Mechanically enforced
+// invariants").
+//
+// Usage:
+//
+//	aegis-lint [-json] [-rules] [-C dir] [./...]   lint the module
+//	aegis-lint -gofmt                              gofmt gate on the same file walk
+//
+// Exit codes: 0 clean, 1 findings, 2 load error.
+package main
+
+import (
+	"os"
+
+	"github.com/repro/aegis/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.CLI(os.Args[1:], os.Stdout, os.Stderr))
+}

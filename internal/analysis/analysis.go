@@ -1,0 +1,236 @@
+// Package analysis implements aegis-lint: a stdlib-only static-analysis
+// driver that mechanically enforces the repository's determinism, hot-path,
+// telemetry-naming, and error-wrapping contracts (see DESIGN.md
+// "Mechanically enforced invariants").
+//
+// The driver loads every package in the module with go/parser, type-checks
+// it with go/types (resolving module-internal imports from source and
+// standard-library imports through the source importer — no x/tools
+// dependency, go.mod stays empty), and runs a registry of rules. Each rule
+// is one file plus one fixture directory under testdata/; diagnostics carry
+// file:line:col positions and can be silenced site-by-site with an
+//
+//	//aegis:allow(rule) reason
+//
+// comment on the flagged line or the line directly above it. A suppression
+// must carry a reason, must name a known rule, and must actually suppress
+// something — unused or malformed suppressions are diagnostics themselves,
+// so stale allows cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the linted source tree.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass carries one type-checked package through one rule.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path of the package under analysis
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	rule   string
+	sink   *[]Diagnostic
+	filter func(Diagnostic) bool
+}
+
+// Reportf records a diagnostic at pos for the rule currently running.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+	if p.filter != nil && !p.filter(d) {
+		return
+	}
+	*p.sink = append(*p.sink, d)
+}
+
+// Rule is one named check. Run inspects a single package and reports
+// findings through pass.Reportf.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// SuppressionRule is the reserved name under which the driver reports
+// malformed, unknown-rule, reason-less, and unused //aegis:allow comments.
+// It is not a Rule (it cannot be disabled) and cannot itself be suppressed.
+const SuppressionRule = "suppression"
+
+// AllRules returns every registered rule, sorted by name. Adding a rule to
+// the suite means adding one file defining it, listing it here, and adding
+// a fixture directory under testdata/src/<name>/.
+func AllRules() []*Rule {
+	rules := []*Rule{
+		detrandRule,
+		errwrapRule,
+		hotpathRule,
+		maprangeRule,
+		metricnameRule,
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+	return rules
+}
+
+// RuleByName returns the named rule, or nil.
+func RuleByName(name string) *Rule {
+	for _, r := range AllRules() {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// deterministicLeaves names the internal packages whose outputs must be
+// pure functions of (seed, config): the replay contracts in DESIGN.md hang
+// off these. detrand and maprange apply only here.
+var deterministicLeaves = []string{
+	"faultinject",
+	"fuzzer",
+	"hpc",
+	"obfuscator",
+	"profiler",
+	"rng",
+	"sev",
+	"stats",
+	"workload",
+}
+
+// IsDeterministicPackage reports whether the import path is one of the
+// deterministic simulation packages (matched as a path suffix
+// "internal/<leaf>", so fixture trees can opt in with the same layout).
+func IsDeterministicPackage(path string) bool {
+	for _, leaf := range deterministicLeaves {
+		if pathHasSuffix(path, "internal/"+leaf) {
+			return true
+		}
+	}
+	return false
+}
+
+// lastElem returns the final element of an import path.
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// pathHasSuffix reports whether path equals suffix or ends in "/"+suffix,
+// respecting path-element boundaries.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pkgPathHasSuffix is pathHasSuffix over a possibly-nil types.Package.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	return pkg != nil && pathHasSuffix(pkg.Path(), suffix)
+}
+
+// Analyze runs the given rules over the packages and returns the surviving
+// diagnostics sorted by position: rule findings minus suppressed sites,
+// plus suppression hygiene findings (malformed/unknown/reason-less/unused
+// allows). Suppression hygiene for a rule is only enforced when that rule
+// is in the run set, so a partial run does not flag allows belonging to
+// rules it skipped.
+func Analyze(pkgs []*Package, rules []*Rule) []Diagnostic {
+	running := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		running[r.Name] = true
+	}
+
+	var all []Diagnostic
+	var sup suppressions
+	for _, pkg := range pkgs {
+		sup.collect(pkg)
+		for _, r := range rules {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Path:  pkg.Path,
+				Files: pkg.Files,
+				Types: pkg.Types,
+				Info:  pkg.Info,
+				rule:  r.Name,
+				sink:  &all,
+			}
+			r.Run(pass)
+		}
+	}
+
+	kept := all[:0]
+	for _, d := range all {
+		if !sup.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.hygiene(running)...)
+	SortDiagnostics(kept)
+	return kept
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, rule, message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// calleeFunc resolves the statically-called function of a call expression,
+// or nil for builtins, conversions, and dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materialises a temp module from rel-path -> contents and
+// returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	// t.TempDir may live under a symlinked parent (macOS /var); resolve it
+	// so CLI path resolution sees the same root the loader does.
+	if r, err := filepath.EvalSymlinks(root); err == nil {
+		root = r
+	}
+	for rel, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := CLI(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+const cleanFile = `package clean
+
+func Add(a, b int) int { return a + b }
+`
+
+// dirtyFuzzer trips detrand inside a deterministic package.
+const dirtyFuzzer = `package fuzzer
+
+import "time"
+
+var T = time.Now()
+`
+
+func TestCLIExitClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.21\n",
+		"internal/clean/c.go": cleanFile,
+	})
+	code, stdout, stderr := runCLI(t, "-C", root, "./...")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed: %q", stdout)
+	}
+}
+
+func TestCLIExitFindings(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                 "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go":  dirtyFuzzer,
+		"internal/clean/ok.go":   cleanFile,
+		"internal/clean/ok2.go":  "package clean\n",
+		"internal/clean/doc.go":  "// Package clean is clean.\npackage clean\n",
+		"internal/clean/ok3.go":  "package clean\n\nvar V = Add(1, 2)\n",
+		"internal/clean/util.go": "package clean\n\nfunc Util() {}\n",
+	})
+	code, stdout, _ := runCLI(t, "-C", root, "./...")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(stdout, "detrand") || !strings.Contains(stdout, "internal/fuzzer/fz.go:5") {
+		t.Errorf("findings output missing detrand diagnostic:\n%s", stdout)
+	}
+}
+
+func TestCLIExitLoadError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      "module tmpmod\n\ngo 1.21\n",
+		"bad/bad.go":  "package bad\n\nfunc missingBody( {\n",
+		"ok/clean.go": cleanFile,
+	})
+	code, _, stderr := runCLI(t, "-C", root, "./...")
+	if code != ExitLoadError {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitLoadError, stderr)
+	}
+	if stderr == "" {
+		t.Error("load error produced no stderr")
+	}
+}
+
+func TestCLINoModule(t *testing.T) {
+	root := writeTree(t, map[string]string{"readme.txt": "not a module\n"})
+	code, _, stderr := runCLI(t, "-C", root)
+	if code != ExitLoadError {
+		t.Fatalf("exit = %d, want %d", code, ExitLoadError)
+	}
+	if !strings.Contains(stderr, "go.mod") {
+		t.Errorf("stderr should mention go.mod: %q", stderr)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go": dirtyFuzzer,
+	})
+	code, stdout, _ := runCLI(t, "-C", root, "-json", "./...")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, ExitFindings)
+	}
+	var report struct {
+		Schema      string `json:"schema"`
+		Root        string `json:"root"`
+		Diagnostics []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if report.Schema != JSONSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, JSONSchema)
+	}
+	if report.Root != root {
+		t.Errorf("root = %q, want %q", report.Root, root)
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Fatal("no diagnostics in JSON report")
+	}
+	d := report.Diagnostics[0]
+	if d.Rule != "detrand" || d.File != "internal/fuzzer/fz.go" || d.Line != 5 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected first diagnostic: %+v", d)
+	}
+}
+
+func TestCLIJSONCleanHasEmptyArray(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.21\n",
+		"internal/clean/c.go": cleanFile,
+	})
+	code, stdout, _ := runCLI(t, "-C", root, "-json")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	if !strings.Contains(stdout, `"diagnostics": []`) {
+		t.Errorf("clean JSON report should carry an empty array, not null:\n%s", stdout)
+	}
+}
+
+func TestCLISingleDirPattern(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go": dirtyFuzzer,
+		"internal/clean/c.go":   cleanFile,
+	})
+	// Linting only the clean package must not surface the fuzzer finding.
+	code, stdout, stderr := runCLI(t, "-C", root, filepath.Join(root, "internal/clean"))
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, stdout, stderr)
+	}
+	code, _, _ = runCLI(t, "-C", root, filepath.Join(root, "internal/fuzzer"))
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, ExitFindings)
+	}
+}
+
+func TestCLIGofmt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                 "module tmpmod\n\ngo 1.21\n",
+		"internal/clean/c.go":    cleanFile,
+		"internal/clean/ugly.go": "package clean\n\nfunc  Ugly( ) {   }\n",
+		// Unparsable and unformatted trees under testdata must be skipped
+		// by the shared walk.
+		"internal/clean/testdata/src/x/x.go": "package x\n\nfunc broken( {\n",
+	})
+	code, stdout, stderr := runCLI(t, "-C", root, "-gofmt")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitFindings, stderr)
+	}
+	if !strings.Contains(stdout, "internal/clean/ugly.go") {
+		t.Errorf("dirty file not reported:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "testdata") || strings.Contains(stderr, "testdata") {
+		t.Errorf("testdata tree was not skipped:\nstdout: %s\nstderr: %s", stdout, stderr)
+	}
+
+	// Fix the ugly file; the walk (still skipping testdata) goes clean.
+	if err := os.WriteFile(filepath.Join(root, "internal/clean/ugly.go"),
+		[]byte("package clean\n\nfunc Ugly() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runCLI(t, "-C", root, "-gofmt")
+	if code != ExitClean {
+		t.Fatalf("exit = %d after fix, want %d\nstdout: %s\nstderr: %s", code, ExitClean, stdout, stderr)
+	}
+}
+
+func TestCLIRulesListing(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-rules")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	for _, r := range AllRules() {
+		if !strings.Contains(stdout, r.Name) {
+			t.Errorf("-rules output missing %q:\n%s", r.Name, stdout)
+		}
+	}
+}
+
+func TestCLIOutsideModuleRejected(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.21\n",
+		"internal/clean/c.go": cleanFile,
+	})
+	other := t.TempDir()
+	code, _, stderr := runCLI(t, "-C", root, other)
+	if code != ExitLoadError {
+		t.Fatalf("exit = %d, want %d", code, ExitLoadError)
+	}
+	if !strings.Contains(stderr, "outside module root") {
+		t.Errorf("stderr should reject out-of-module path: %q", stderr)
+	}
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package from the linted tree.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks packages under a module root.
+// Imports inside the module are resolved from the loader's own cache (one
+// types.Package identity per path); everything else — the standard library
+// — goes through go/importer's source importer, so the loader works with
+// an empty go.mod and no compiled export data.
+//
+// The loader analyzes non-test files only: _test.go files are part of the
+// repo's dynamic gates, not the static contracts, and fixture trees under
+// testdata/ (which deliberately contain ill-formed code) are skipped by
+// the walk — the same walk `aegis-lint -gofmt` uses, so the format gate
+// and the lint gate agree on what "the repo" is.
+type Loader struct {
+	Root   string // absolute module root
+	Module string // import path of the root package
+	Fset   *token.FileSet
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	stdlib  types.Importer
+}
+
+// NewLoader returns a loader for the module rooted at root with the given
+// module path.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// skipDir reports whether a directory is excluded from every repo walk:
+// fixture trees (intentionally ill-formed / gofmt-dirty), vendored or
+// hidden trees, and VCS metadata.
+func skipDir(name string) bool {
+	if name == "testdata" || name == "vendor" {
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// isGoFile reports whether name is a Go source file the walks consider.
+func isGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// walk visits every directory under root that survives skipDir, in sorted
+// order, calling fn with the relative directory and its entries.
+func (l *Loader) walk(fn func(rel string, entries []fs.DirEntry) error) error {
+	return filepath.WalkDir(l.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if p != l.Root && skipDir(d.Name()) {
+			return fs.SkipDir
+		}
+		rel, err := filepath.Rel(l.Root, p)
+		if err != nil {
+			return err
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		return fn(filepath.ToSlash(rel), entries)
+	})
+}
+
+// PackageDirs returns every directory under the root (as a slash-separated
+// path relative to it, "." for the root itself) containing at least one
+// non-test Go file.
+func (l *Loader) PackageDirs() ([]string, error) {
+	var dirs []string
+	err := l.walk(func(rel string, entries []fs.DirEntry) error {
+		for _, e := range entries {
+			if !e.IsDir() && isGoFile(e.Name()) && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, rel)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// GoFiles returns every Go file under the root (including _test.go files)
+// that the repo-wide gates cover, as paths relative to the root. This is
+// the shared file-walk behind both `aegis-lint -gofmt` and the analysis
+// load: fixture trees under testdata/ never reach either gate.
+func (l *Loader) GoFiles() ([]string, error) {
+	var files []string
+	err := l.walk(func(rel string, entries []fs.DirEntry) error {
+		for _, e := range entries {
+			if !e.IsDir() && isGoFile(e.Name()) {
+				files = append(files, path.Join(rel, e.Name()))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// importPath maps a root-relative directory to its import path.
+func (l *Loader) importPath(rel string) string {
+	if rel == "." || rel == "" {
+		return l.Module
+	}
+	return path.Join(l.Module, rel)
+}
+
+// relDir maps an import path back to a root-relative directory, reporting
+// whether the path belongs to this module.
+func (l *Loader) relDir(importPath string) (string, bool) {
+	if importPath == l.Module {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.Module+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in the root-relative
+// directory rel. Results are cached by import path; a directory with no
+// non-test Go files returns (nil, nil).
+func (l *Loader) LoadDir(rel string) (*Package, error) {
+	importPath := l.importPath(rel)
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !isGoFile(e.Name()) || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, errors.Join(typeErrs...))
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// loader's own tree, "unsafe" maps to types.Unsafe, and everything else is
+// delegated to the standard-library source importer.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.relDir(importPath); ok {
+		pkg, err := l.LoadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("no Go files in %s", importPath)
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(importPath)
+}
+
+// LoadAll loads every package under the root, in sorted directory order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, rel := range dirs {
+		pkg, err := l.LoadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// detrandRule bans sources of nondeterminism inside the deterministic
+// simulation packages (internal/rng, fuzzer, profiler, obfuscator, sev,
+// hpc, stats, workload, faultinject), whose outputs must replay
+// byte-identically from (seed, config) alone:
+//
+//   - wall-clock and timer reads (time.Now, time.Since, time.Until,
+//     time.Tick, time.After, time.AfterFunc, time.NewTimer,
+//     time.NewTicker) — a telemetry-only timing site is the one legitimate
+//     use, and must be suppressed with a reason;
+//   - select statements with a default clause, which race goroutine
+//     scheduling against channel readiness;
+//   - math/rand and math/rand/v2 anywhere in the module: all randomness
+//     must derive from internal/rng streams (pure functions of seed and
+//     labels), so importing math/rand is banned everywhere outside
+//     internal/rng, and the global draws are banned even there.
+var detrandRule = &Rule{
+	Name: "detrand",
+	Doc:  "no wall-clock, global math/rand, or racing select in deterministic packages",
+	Run:  runDetrand,
+}
+
+// clockFuncs are the time package functions that read the wall clock or
+// start timers.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand functions that build a private
+// generator rather than drawing from the global one; they are tolerated
+// inside internal/rng only.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetrand(pass *Pass) {
+	deterministic := IsDeterministicPackage(pass.Path)
+	isRng := pathHasSuffix(pass.Path, "internal/rng")
+
+	for _, f := range pass.Files {
+		// math/rand is policed module-wide: the import itself is the
+		// violation outside internal/rng.
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || (p != "math/rand" && p != "math/rand/v2") {
+				continue
+			}
+			if !isRng {
+				pass.Reportf(imp.Pos(), "import of %s; derive randomness from internal/rng streams (rand.New is allowed only inside internal/rng)", p)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj, ok := pass.Info.Uses[n.Sel]
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if deterministic && clockFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "call to time.%s in deterministic package %s; outputs must be pure functions of (seed, config)", obj.Name(), lastElem(pass.Path))
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isFn := obj.(*types.Func); isFn && isRng && !randConstructors[obj.Name()] {
+						pass.Reportf(n.Pos(), "global math/rand draw rand.%s; use an explicit rng stream", obj.Name())
+					}
+				}
+			case *ast.SelectStmt:
+				if !deterministic {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(n.Pos(), "select with default clause races goroutine scheduling in deterministic package %s", lastElem(pass.Path))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// errwrapRule enforces the error-chain conventions that keep sentinel
+// errors matchable across package boundaries:
+//
+//   - an error passed to fmt.Errorf must be formatted with %w, not %v or
+//     %s, so callers can unwrap it with errors.Is / errors.As;
+//   - error values must not be compared with == or != (or switched on):
+//     wrapped errors never compare equal, so sentinel checks must go
+//     through errors.Is. Comparisons against nil are of course fine.
+var errwrapRule = &Rule{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf wraps errors with %w; sentinel errors are compared with errors.Is",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Value != nil || tv.IsNil() {
+			return false
+		}
+		// Both concrete implementations and the error interface itself
+		// count: either way == is the wrong comparison and %v the wrong
+		// verb.
+		return types.AssignableTo(tv.Type, errType)
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.FullName() == "fmt.Errorf" {
+					checkErrorfVerbs(pass, n, isErr)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErr(n.X) && isErr(n.Y) {
+					pass.Reportf(n.Pos(), "error values compared with %s never match wrapped errors; use errors.Is", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isErr(n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switch on an error value never matches wrapped errors; use errors.Is chains")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfVerbs aligns the format verbs of a fmt.Errorf call with its
+// arguments and flags error-typed arguments formatted with anything but
+// %w.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr, isErr func(ast.Expr) bool) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break // malformed format; go vet reports the arity mismatch
+		}
+		if verb != 'w' && verb != '*' && isErr(args[i]) {
+			pass.Reportf(args[i].Pos(), "error argument formatted with %%%c; use %%w so callers can errors.Is/As through the wrap", verb)
+		}
+	}
+}
+
+// formatVerbs returns one rune per argument the format string consumes, in
+// order: the verb itself, or '*' for a width/precision argument.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — a '*' consumes an argument.
+		for i < len(rs) {
+			r := rs[i]
+			if r == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if r == '+' || r == '-' || r == '#' || r == ' ' || r == '0' ||
+				r == '.' || (r >= '1' && r <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue // literal %%
+		}
+		verbs = append(verbs, rs[i])
+	}
+	return verbs
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathRule is the static twin of the dynamic allocation gate
+// (alloc_gate_test.go / `make bench-alloc`): functions annotated with a
+// //aegis:hotpath doc-comment line must stay allocation-free in steady
+// state, so inside their bodies the rule bans the allocation shapes the
+// PR-4 rebuild eliminated:
+//
+//   - fmt formatting calls (Sprintf, Sprint, Sprintln, Errorf, Appendf,
+//     Append, Appendln) — cold error branches may be suppressed with a
+//     reason;
+//   - []byte <-> string conversions, which copy;
+//   - map construction (make or composite literal) and closure literals,
+//     which heap-allocate;
+//   - append whose destination is not a variable local to the annotated
+//     function (a field, a package-level var, or a captured variable):
+//     growth of an escaping slice allocates, and the zero-alloc kernels
+//     instead reuse caller-owned or receiver-owned scratch.
+//
+// The annotation is load-bearing documentation: every function gated by a
+// TestZeroAlloc* benchmark carries it, so the dynamic gate and this rule
+// police the same set.
+var hotpathRule = &Rule{
+	Name: "hotpath",
+	Doc:  "functions annotated //aegis:hotpath must avoid allocating constructs",
+	Run:  runHotpath,
+}
+
+// fmtAllocFuncs are fmt functions that allocate their result.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// HotpathAnnotation is the doc-comment directive marking a zero-alloc
+// steady-state function.
+const HotpathAnnotation = "//aegis:hotpath"
+
+// isHotpathAnnotated reports whether the function declaration carries the
+// //aegis:hotpath directive in its doc comment.
+func isHotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotpathAnnotation || strings.HasPrefix(c.Text, HotpathAnnotation+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s constructs a closure; closures heap-allocate their captures", fd.Name.Name)
+			return false // the literal's body is cold until invoked
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hot path %s constructs a map literal; maps heap-allocate", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// fmt formatting calls.
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s, which allocates; move formatting off the steady-state path or suppress a cold branch with a reason", fd.Name.Name, fn.Name())
+		return
+	}
+	// make(map[...]...).
+	if isBuiltin(pass.Info, call, "make") && len(call.Args) > 0 {
+		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(call.Pos(), "hot path %s constructs a map with make; maps heap-allocate", fd.Name.Name)
+			}
+		}
+		return
+	}
+	// append to a destination that escapes the function.
+	if isBuiltin(pass.Info, call, "append") && len(call.Args) > 0 {
+		if dst, desc := nonLocalAppendDst(pass, fd, call.Args[0]); dst {
+			pass.Reportf(call.Pos(), "hot path %s appends to %s %s; growth allocates — reuse receiver- or caller-owned scratch instead", fd.Name.Name, desc, types.ExprString(call.Args[0]))
+		}
+		return
+	}
+	// []byte <-> string conversions.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if argTV, ok := pass.Info.Types[call.Args[0]]; ok {
+			to, from := tv.Type, argTV.Type
+			if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+				pass.Reportf(call.Pos(), "hot path %s converts %s to %s, which copies", fd.Name.Name, from, to)
+			}
+		}
+	}
+}
+
+// nonLocalAppendDst reports whether the append destination lives outside
+// the annotated function (field, package-level, or captured variable) and
+// describes it. Slice and paren expressions are unwrapped so the
+// `append(x[:0], ...)` reslice idiom is judged by its base.
+func nonLocalAppendDst(pass *Pass, fd *ast.FuncDecl, dst ast.Expr) (bool, string) {
+	for {
+		switch d := dst.(type) {
+		case *ast.ParenExpr:
+			dst = d.X
+		case *ast.SliceExpr:
+			dst = d.X
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[d].(*types.Var)
+			if !ok {
+				if _, ok := pass.Info.Defs[d]; ok {
+					return false, "" // := defines a fresh local
+				}
+				return false, ""
+			}
+			if v.Pos() >= fd.Pos() && v.Pos() < fd.End() {
+				return false, ""
+			}
+			return true, "non-local variable"
+		case *ast.SelectorExpr:
+			return true, "field or imported variable"
+		case *ast.IndexExpr:
+			return true, "indexed element"
+		default:
+			return false, ""
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

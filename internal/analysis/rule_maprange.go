@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maprangeRule flags `range` over a map in the deterministic packages: Go
+// randomizes map iteration order, so any map range whose body is
+// order-sensitive silently breaks byte-identical replay. One shape is
+// exempt because the repo uses it pervasively and it is provably
+// order-insensitive — the collect-then-sort idiom, where the loop body
+// only appends keys/values to a slice and the statement immediately after
+// the loop sorts that slice (sort.* or slices.*). Everything else needs an
+// //aegis:allow(maprange) with a reason stating why order cannot leak
+// (e.g. an order-insensitive count, a flat copy, or deletes during
+// eviction).
+var maprangeRule = &Rule{
+	Name: "maprange",
+	Doc:  "no order-sensitive map iteration in deterministic packages",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *Pass) {
+	if !IsDeterministicPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+				}
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(list) {
+					next = list[i+1]
+				}
+				if isCollectThenSort(pass, rs, next) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "range over map %s in deterministic package %s; iterate a sorted key slice, or suppress with a reason why order cannot leak", types.ExprString(rs.X), lastElem(pass.Path))
+			}
+			return true
+		})
+	}
+}
+
+// isCollectThenSort reports whether the map range is the exempt
+// collect-then-sort idiom: every body statement is `x = append(x, ...)`
+// and the statement immediately following the loop is a sort.* or
+// slices.* call over one of the appended slices.
+func isCollectThenSort(pass *Pass, rs *ast.RangeStmt, next ast.Stmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	targets := make(map[string]bool)
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) == 0 {
+			return false
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(call.Args[0]) != lhs {
+			return false
+		}
+		targets[lhs] = true
+	}
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if targets[types.ExprString(arg)] {
+			return true
+		}
+	}
+	return false
+}

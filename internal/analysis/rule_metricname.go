@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// metricnameRule keeps the telemetry name space stable: the Prometheus
+// goldens, dashboards, and bench tooling all key on metric names, so every
+// string literal passed to a telemetry counter/gauge/histogram constructor
+// must be
+//
+//   - a compile-time constant (no dynamically assembled names),
+//   - snake_case ([a-z0-9_], starting with a letter),
+//   - suffixed by convention: counters end in _total; histograms end in a
+//     unit (_seconds, _bytes, or _ns); gauges are instantaneous values and
+//     carry no unit suffix but must not end in _total,
+//   - registered in the canonical name registry: the exported Metric*
+//     string constants in internal/telemetry/names.go. Adding a metric
+//     means adding its name there first, which is what keeps the
+//     exposition goldens reviewable.
+//
+// Call sites inside the telemetry package itself (the constructors
+// forwarding the caller's name) are exempt.
+var metricnameRule = &Rule{
+	Name: "metricname",
+	Doc:  "telemetry metric names are constant, snake_case, unit-suffixed, and registered",
+	Run:  runMetricname,
+}
+
+// metricKinds maps telemetry constructor function/method names to the
+// metric kind they build.
+var metricKinds = map[string]string{
+	"C": "counter", "Counter": "counter",
+	"G": "gauge", "Gauge": "gauge",
+	"H": "histogram", "Histogram": "histogram",
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// histogramUnits are the accepted histogram unit suffixes.
+var histogramUnits = []string{"_seconds", "_bytes", "_ns"}
+
+func runMetricname(pass *Pass) {
+	if pkgPathHasSuffix(pass.Types, "internal/telemetry") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !pkgPathHasSuffix(fn.Pkg(), "internal/telemetry") {
+				return true
+			}
+			kind, ok := metricKinds[fn.Name()]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, fn.Pkg(), kind, call.Args[0])
+			return true
+		})
+	}
+}
+
+func checkMetricName(pass *Pass, telemetryPkg *types.Package, kind string, arg ast.Expr) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "%s name must be a compile-time constant string", kind)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(arg.Pos(), "%s name %q is not snake_case", kind, name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter name %q must end in _total", name)
+		}
+	case "histogram":
+		if !hasAnySuffix(name, histogramUnits) {
+			pass.Reportf(arg.Pos(), "histogram name %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "gauge name %q must not end in _total; that suffix is reserved for counters", name)
+		}
+	}
+	if !registeredMetricNames(telemetryPkg)[name] {
+		pass.Reportf(arg.Pos(), "%s name %q is not registered; add a Metric* constant to internal/telemetry/names.go", kind, name)
+	}
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// metricRegistryCache memoizes the registry per telemetry package object.
+var metricRegistryCache = map[*types.Package]map[string]bool{}
+
+// registeredMetricNames collects the values of the exported Metric* string
+// constants declared in the telemetry package — the canonical metric name
+// registry.
+func registeredMetricNames(pkg *types.Package) map[string]bool {
+	if set, ok := metricRegistryCache[pkg]; ok {
+		return set
+	}
+	set := make(map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Metric") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		set[constant.StringVal(c.Val())] = true
+	}
+	metricRegistryCache[pkg] = set
+	return set
+}

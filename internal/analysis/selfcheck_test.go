@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsLintClean runs the full rule set over the enclosing module —
+// the same work as `aegis-lint ./...` — and requires zero diagnostics.
+// This keeps the tree honest: deleting any //aegis:allow comment whose
+// site still trips a rule, or introducing a fresh violation (say,
+// time.Now() in internal/fuzzer), fails this test and `make lint` alike.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, module, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("locating enclosing module: %v", err)
+	}
+	pkgs, err := NewLoader(root, module).LoadAll()
+	if err != nil {
+		t.Fatalf("loading %s: %v", module, err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded (%d); walk is broken", len(pkgs))
+	}
+	diags := Analyze(pkgs, AllRules())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repo is not lint-clean: %d finding(s); fix the site or add //aegis:allow(rule) with a reason", len(diags))
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowPattern matches a well-formed suppression comment. The directive
+// style (no space after //, like //go:) keeps gofmt from reindenting it.
+var allowPattern = regexp.MustCompile(`^aegis:allow\(([a-zA-Z0-9_-]+)\)[ \t]*(.*)$`)
+
+// allow is one //aegis:allow(rule) reason comment found in a source file.
+type allow struct {
+	pos    token.Position
+	rule   string
+	reason string
+	valid  bool // names a registered rule and carries a reason
+	used   bool
+}
+
+// suppressions indexes every allow comment in the analyzed packages by
+// (file, line) so diagnostics can be matched against the same line or the
+// line directly below the comment.
+type suppressions struct {
+	byLine map[string]map[int][]*allow // file -> line -> allows
+	order  []*allow                    // discovery order for hygiene reports
+}
+
+// collect scans a package's comments for aegis:allow directives. Malformed
+// directives (missing parens) are recorded as invalid so hygiene() can
+// report them.
+func (s *suppressions) collect(pkg *Package) {
+	if s.byLine == nil {
+		s.byLine = make(map[string]map[int][]*allow)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok || !strings.HasPrefix(strings.TrimSpace(text), "aegis:allow") {
+					continue
+				}
+				a := &allow{pos: pkg.Fset.Position(c.Pos())}
+				if m := allowPattern.FindStringSubmatch(strings.TrimSpace(text)); m != nil {
+					a.rule = m[1]
+					a.reason = strings.TrimSpace(m[2])
+					a.valid = RuleByName(a.rule) != nil && a.reason != ""
+				}
+				s.order = append(s.order, a)
+				file := a.pos.Filename
+				if s.byLine[file] == nil {
+					s.byLine[file] = make(map[int][]*allow)
+				}
+				s.byLine[file][a.pos.Line] = append(s.byLine[file][a.pos.Line], a)
+			}
+		}
+	}
+}
+
+// suppresses reports whether d is covered by a valid allow comment on the
+// same line or the line directly above, and marks that allow used.
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	if d.Rule == SuppressionRule {
+		return false
+	}
+	lines := s.byLine[d.Pos.Filename]
+	hit := false
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.valid && a.rule == d.Rule {
+				a.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// hygiene reports malformed, unknown-rule, reason-less, and unused allow
+// comments. Unused-ness is only judged for rules in the running set, so a
+// single-rule invocation does not flag allows belonging to other rules.
+func (s *suppressions) hygiene(running map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(a *allow, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: a.pos, Rule: SuppressionRule,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	for _, a := range s.order {
+		switch {
+		case a.rule == "":
+			report(a, "malformed suppression; want //aegis:allow(rule) reason")
+		case RuleByName(a.rule) == nil:
+			report(a, "suppression names unknown rule %q", a.rule)
+		case a.reason == "":
+			report(a, "suppression of %q has no reason; state why the site is exempt", a.rule)
+		case running[a.rule] && !a.used:
+			report(a, "unused suppression of %q; the site no longer trips the rule", a.rule)
+		}
+	}
+	return out
+}

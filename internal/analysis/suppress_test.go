@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionHygiene exercises the //aegis:allow contract on the
+// suppress fixture: valid same-line and line-above allows silence the
+// detrand findings, while reason-less, unknown-rule, malformed, and
+// unused allows are diagnostics themselves.
+func TestSuppressionHygiene(t *testing.T) {
+	pkgs := loadFixture(t, "suppress")
+	diags := Analyze(pkgs, []*Rule{detrandRule})
+
+	type want struct {
+		line int
+		rule string
+		sub  string
+	}
+	wants := []want{
+		// t2: allow without a reason does not suppress, and is itself flagged.
+		{13, "detrand", "time.Now"},
+		{13, SuppressionRule, "no reason"},
+		// t3: unknown rule.
+		{15, "detrand", "time.Now"},
+		{15, SuppressionRule, "unknown rule \"clockrule\""},
+		// t4: malformed (no parenthesised rule).
+		{17, "detrand", "time.Now"},
+		{17, SuppressionRule, "malformed suppression"},
+		// unrelated: valid allow with nothing to suppress.
+		{19, SuppressionRule, "unused suppression"},
+	}
+
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Pos.Line == w.line && d.Rule == w.rule && strings.Contains(d.Message, w.sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic on line %d (%s) matching %q", w.line, w.rule, w.sub)
+		}
+	}
+}
+
+// TestPartialRunKeepsForeignAllows checks that running a subset of rules
+// does not flag allows belonging to rules that did not run: the suppress
+// fixture's detrand allows must not be reported as unused when only
+// maprange runs.
+func TestPartialRunKeepsForeignAllows(t *testing.T) {
+	pkgs := loadFixture(t, "suppress")
+	diags := Analyze(pkgs, []*Rule{maprangeRule})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused suppression") {
+			t.Errorf("allow for a non-running rule flagged as unused: %s", d)
+		}
+	}
+}

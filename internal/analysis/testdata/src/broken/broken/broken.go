@@ -1,0 +1,5 @@
+// Fixture: deliberately unparsable, to exercise the load-error exit code
+// and to prove the repo-wide gofmt/lint walks skip testdata trees.
+package broken
+
+func missingBody( {

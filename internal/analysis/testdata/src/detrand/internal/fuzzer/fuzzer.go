@@ -1,0 +1,39 @@
+// Fixture for the detrand rule: the package path ends in internal/fuzzer,
+// so it counts as a deterministic package.
+package fuzzer
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()   // want "call to time.Now"
+	_ = time.Since(t) // want "call to time.Since"
+	start := time.Now() //aegis:allow(detrand) fixture: telemetry-only timing site
+	_ = start
+	return t.Unix()
+}
+
+func draw() float64 {
+	// The import diagnostic covers the package; the global draw is not
+	// separately flagged outside internal/rng.
+	return rand.Float64()
+}
+
+func racy(ch chan int) int {
+	select { // want "select with default"
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func disciplined(ch chan int) int {
+	// A select without default blocks deterministically on its cases.
+	select {
+	case v := <-ch:
+		return v
+	}
+}

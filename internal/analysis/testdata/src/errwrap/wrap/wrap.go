@@ -1,0 +1,47 @@
+// Fixture for the errwrap rule.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrSentinel = errors.New("sentinel")
+
+func wrapV(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want "use %w"
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("ctx %d: %s", 7, err) // want "use %w"
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+func nonError() error {
+	// %v over a non-error argument is fine.
+	return fmt.Errorf("ctx: %v", 42)
+}
+
+func compare(err error) bool {
+	if err == ErrSentinel { // want "errors.Is"
+		return true
+	}
+	return err != nil // nil comparison is fine
+}
+
+func compareAllowed(err error) bool {
+	//aegis:allow(errwrap) fixture: identity check against a process-unique marker error
+	return err == ErrSentinel
+}
+
+func sw(err error) int {
+	switch err { // want "switch on an error"
+	case ErrSentinel:
+		return 1
+	default:
+		return 0
+	}
+}

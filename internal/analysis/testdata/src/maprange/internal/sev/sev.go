@@ -1,0 +1,40 @@
+// Fixture for the maprange rule: the package path ends in internal/sev,
+// so it counts as a deterministic package.
+package sev
+
+import "sort"
+
+// keys is the exempt collect-then-sort idiom: the body only appends and
+// the next statement sorts the collected slice.
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func copyInto(dst, src map[string]int) {
+	//aegis:allow(maprange) fixture: flat key-by-key copy, order cannot leak
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// collectNoSort looks like collecting but never sorts: still flagged.
+func collectNoSort(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want "range over map"
+		ks = append(ks, k)
+	}
+	return ks
+}

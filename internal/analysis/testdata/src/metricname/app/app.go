@@ -1,0 +1,22 @@
+// Fixture for the metricname rule: call sites against the stand-in
+// telemetry package.
+package app
+
+import "fixture/internal/telemetry"
+
+func dyn() string { return "app_requests_total" }
+
+var (
+	good        = telemetry.C("app_requests_total")
+	goodHist    = telemetry.H("app_latency_seconds", nil)
+	goodGauge   = telemetry.G("app_workers")
+	goodLabeled = telemetry.C("app_requests_total", telemetry.L("code", "200"))
+
+	badSuffix   = telemetry.C("app_requests")        // want "must end in _total" "not registered"
+	badCase     = telemetry.C("AppRequests_total")   // want "not snake_case"
+	badGauge    = telemetry.G("app_workers_total")   // want "must not end in _total" "not registered"
+	badHist     = telemetry.H("app_legacy_delta", nil) // want "unit suffix"
+	notConstant = telemetry.C(dyn())                 // want "compile-time constant"
+
+	legacy = telemetry.H("app_legacy_delta", nil) //aegis:allow(metricname) fixture: legacy name kept for dashboard continuity
+)

@@ -1,0 +1,28 @@
+// Fixture stand-in for internal/telemetry: the constructors the
+// metricname rule resolves by package-path suffix, plus the Metric*
+// registry constants it validates names against.
+package telemetry
+
+type Label struct{ K, V string }
+
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func C(name string, labels ...Label) *Counter { _ = name; return &Counter{} }
+
+func G(name string, labels ...Label) *Gauge { _ = name; return &Gauge{} }
+
+func H(name string, bounds []float64, labels ...Label) *Histogram { _ = name; return &Histogram{} }
+
+// The registry: only these names are legal at call sites.
+const (
+	MetricRequestsTotal  = "app_requests_total"
+	MetricLatencySeconds = "app_latency_seconds"
+	MetricLegacyDelta    = "app_legacy_delta"
+	MetricWorkers        = "app_workers"
+)

@@ -1,0 +1,19 @@
+// Fixture for suppression hygiene: placement, missing reasons, unknown
+// rules, malformed directives, and unused allows. Expectations live in
+// suppress_test.go rather than want markers.
+package fuzzer
+
+import "time"
+
+var t0 = time.Now() //aegis:allow(detrand) valid: suppressed on the same line
+
+//aegis:allow(detrand) valid: suppressed from the line above
+var t1 = time.Now()
+
+var t2 = time.Now() //aegis:allow(detrand)
+
+var t3 = time.Now() //aegis:allow(clockrule) there is no such rule
+
+var t4 = time.Now() //aegis:allow
+
+var unrelated = 1 //aegis:allow(detrand) nothing on this line trips the rule

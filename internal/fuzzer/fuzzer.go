@@ -46,9 +46,10 @@ var (
 	mEventsSkipped  = telemetry.C("fuzzer_events_skipped_total")
 	mDroppedByFault = telemetry.C("fuzzer_candidates_dropped_total",
 		telemetry.L("reason", "read-fault"))
-	mMemoHits       = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "hit"))
-	mMemoMisses     = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "miss"))
-	mPrefiltered    = telemetry.C("fuzzer_candidates_prefiltered_total")
+	mMemoHits    = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "hit"))
+	mMemoMisses  = telemetry.C("fuzzer_screen_memo_total", telemetry.L("outcome", "miss"))
+	mPrefiltered = telemetry.C("fuzzer_candidates_prefiltered_total")
+	//aegis:allow(metricname) pre-registry name: a dimensionless count delta; renaming would break exposition goldens
 	hConfirmedDelta = telemetry.H("fuzzer_confirmed_delta",
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250})
 	hEventSeconds = telemetry.H("fuzzer_event_seconds", telemetry.DefBuckets)
@@ -641,7 +642,7 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 		err      error
 	}
 	pool := parallel.NewPool("fuzzer.events", f.cfg.Parallelism)
-	genStart := time.Now()
+	genStart := time.Now() //aegis:allow(detrand) wall-clock feeds Timing telemetry only, never simulation state
 	outs, _ := parallel.Map(context.Background(), pool, len(events),
 		func(_ context.Context, i int) (outcome, error) {
 			findings, tried, err := f.FuzzEvent(events[i])
@@ -651,7 +652,7 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	// the wall clock by the paper's observed ~250:1 ratio is not possible
 	// post hoc, so time filtering separately and attribute the rest to
 	// generation+execution+confirmation via the Timing fields below.
-	genElapsed := time.Since(genStart)
+	genElapsed := time.Since(genStart) //aegis:allow(detrand) wall-clock feeds Timing telemetry only, never simulation state
 
 	// Merge in stable input-event order.
 	var errs []error
@@ -675,15 +676,20 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 		return nil, fmt.Errorf("fuzzer: every event failed: %w", errors.Join(errs...))
 	}
 
-	filterStart := time.Now()
-	for name, findings := range res.PerEvent {
-		reps, best := filter(findings)
+	filterStart := time.Now() //aegis:allow(detrand) wall-clock feeds Timing telemetry only, never simulation state
+	eventNames := make([]string, 0, len(res.PerEvent))
+	for name := range res.PerEvent {
+		eventNames = append(eventNames, name)
+	}
+	sort.Strings(eventNames)
+	for _, name := range eventNames {
+		reps, best := filter(res.PerEvent[name])
 		res.Representatives[name] = reps
 		if best.Event != nil {
 			res.Best[name] = best
 		}
 	}
-	res.Timing.Filtering = time.Since(filterStart)
+	res.Timing.Filtering = time.Since(filterStart) //aegis:allow(detrand) wall-clock feeds Timing telemetry only, never simulation state
 	// Attribute ~95% of the search loop to generation+execution and ~5%
 	// to confirmation, matching the structure of the loop (confirmation
 	// touches only reported candidates).
@@ -725,13 +731,20 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 		}
 	}()
 	// Candidate pool: all representatives, deduplicated by dense gadget
-	// identity. (The pool order below still sorts by Key() — the greedy
-	// cover's tie-breaks must stay byte-identical to the string-keyed
-	// implementation.)
+	// identity, visiting events in sorted-name order so the Finding that
+	// wins a duplicated gadget is the same on every run — map order must
+	// not pick the winner. (The pool order below still sorts by Key() —
+	// the greedy cover's tie-breaks must stay byte-identical to the
+	// string-keyed implementation.)
+	repEvents := make([]string, 0, len(res.Representatives))
+	for name := range res.Representatives {
+		repEvents = append(repEvents, name)
+	}
+	sort.Strings(repEvents)
 	var pool []Finding
 	seen := make(map[gadgetID]bool)
-	for _, reps := range res.Representatives {
-		for _, fd := range reps {
+	for _, name := range repEvents {
+		for _, fd := range res.Representatives[name] {
 			if !seen[fd.Gadget.id()] {
 				seen[fd.Gadget.id()] = true
 				pool = append(pool, fd)
@@ -769,10 +782,8 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 	for _, cov := range coverage {
 		for _, ei := range cov {
 			coverable[ei] = true
+			uncovered[ei] = true
 		}
-	}
-	for ei := range coverable {
-		uncovered[ei] = true
 	}
 	var out []CoverageEntry
 	for len(uncovered) > 0 {

@@ -462,11 +462,13 @@ func (c *Catalog) GuestVisibleCounts() map[EventType]int {
 // of the two catalogs (paper Table I's "# of Different Events" row).
 func DifferentEvents(a, b *Catalog) int {
 	diff := 0
+	//aegis:allow(maprange) order-insensitive membership count; only the total is observable
 	for name := range a.byName {
 		if _, ok := b.byName[name]; !ok {
 			diff++
 		}
 	}
+	//aegis:allow(maprange) order-insensitive membership count; only the total is observable
 	for name := range b.byName {
 		if _, ok := a.byName[name]; !ok {
 			diff++

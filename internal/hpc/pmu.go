@@ -111,9 +111,16 @@ func (p *PMU) Programmed(slot int) *Event {
 
 // RDPMC reads a counter register: the event count accumulated since it was
 // programmed (or last reset), with measurement noise.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocRDPMC
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (p *PMU) RDPMC(slot int) (float64, error) {
 	if slot < 0 || slot >= NumCounterRegisters {
-		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot) //aegis:allow(hotpath) cold validation branch; never taken on the steady-state read path
 	}
 	s := &p.slots[slot]
 	if s.event == nil {
@@ -121,7 +128,7 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 	}
 	mRDPMCReads.Inc()
 	if p.faults.PMUReadError() {
-		return 0, fmt.Errorf("%w: slot %d", ErrReadFault, slot)
+		return 0, fmt.Errorf("%w: slot %d", ErrReadFault, slot) //aegis:allow(hotpath) cold fault branch; healthy steady state never formats
 	}
 	if s.saturated {
 		return s.satValue, nil
@@ -170,6 +177,13 @@ func (p *PMU) Reset(slot int) error {
 // and failed reads are reported as NaN (a counter value is never NaN, so
 // the sentinel is unambiguous). dst's backing array is reused when it has
 // capacity for NumCounterRegisters elements; the filled slice is returned.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocReadAllInto
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (p *PMU) ReadAllInto(dst []float64) []float64 {
 	if cap(dst) < NumCounterRegisters {
 		dst = make([]float64, NumCounterRegisters)

@@ -224,6 +224,7 @@ func (m *DStarMechanism) Commit(t int64, applied float64) {
 	// entries older than the lowest possible ancestor (t - 2^k window).
 	if len(m.noiseAt) > 4096 {
 		cut := t - 2048
+		//aegis:allow(maprange) deletes below a fixed threshold are order-insensitive; surviving entries are identical either way
 		for k := range m.noiseAt {
 			if k != 0 && k < cut {
 				delete(m.noiseAt, k)

@@ -229,7 +229,7 @@ type World struct {
 // handles are derived lazily per (vm, vcpu) on the next Step.
 func (w *World) SetFaults(in *faultinject.Injector) {
 	w.faults = in
-	for _, vm := range w.vms {
+	for _, vm := range w.vmOrder {
 		for _, vc := range vm.vcpus {
 			vc.faults = nil
 		}
@@ -406,6 +406,13 @@ func (w *World) DestroyVM(id int) error {
 
 // Step advances the world by one tick: every vCPU runs its processes
 // round-robin on its physical core until the tick budget is exhausted.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocWorldStep
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (w *World) Step() {
 	w.tick++
 	mWorldTicks.Inc()

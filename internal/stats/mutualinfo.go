@@ -42,6 +42,13 @@ func MutualInformation(classes []ClassModel, steps int) (float64, error) {
 }
 
 // MutualInformation is MutualInformation staged in the arena.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (s *Scratch) MutualInformation(classes []ClassModel, steps int) (float64, error) {
 	if len(classes) == 0 {
 		return 0, ErrInsufficientData
@@ -54,7 +61,7 @@ func (s *Scratch) MutualInformation(classes []ClassModel, steps int) (float64, e
 	var total float64
 	for i, c := range classes {
 		if c.Prior < 0 {
-			return 0, fmt.Errorf("stats: negative prior for %q", c.Secret)
+			return 0, fmt.Errorf("stats: negative prior for %q", c.Secret) //aegis:allow(hotpath) cold validation branch; priors are screened before the loop in steady state
 		}
 		priors[i] = c.Prior
 		total += c.Prior
@@ -129,9 +136,16 @@ func BinnedMI(xs, ys []float64, bins int) (float64, error) {
 }
 
 // BinnedMI is BinnedMI staged in the arena.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 	if len(xs) != len(ys) {
-		return 0, fmt.Errorf("stats: paired samples length mismatch %d != %d", len(xs), len(ys))
+		return 0, fmt.Errorf("stats: paired samples length mismatch %d != %d", len(xs), len(ys)) //aegis:allow(hotpath) cold validation branch; lengths are fixed in steady state
 	}
 	if len(xs) < bins {
 		return 0, ErrInsufficientData

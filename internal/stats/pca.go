@@ -29,6 +29,13 @@ func FitPCA(rows [][]float64, k int) (*PCA, error) {
 // buffers and the power-iteration work vector are all reused across calls.
 // The returned *PCA aliases the arena and is valid until the next call on
 // s (see the Scratch ownership rules).
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 	n := len(rows)
 	if n < 2 {
@@ -37,11 +44,11 @@ func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 	d := len(rows[0])
 	for i, r := range rows {
 		if len(r) != d {
-			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(r), d)
+			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(r), d) //aegis:allow(hotpath) cold validation branch; shapes are fixed in steady state
 		}
 	}
 	if k < 1 || k > d {
-		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d)
+		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d) //aegis:allow(hotpath) cold validation branch; shapes are fixed in steady state
 	}
 
 	s.mean = grow(s.mean, d)
@@ -115,8 +122,9 @@ func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 				break
 			}
 		}
+		//aegis:allow(hotpath) arena-backed slices pre-grown to capacity k above; these appends never reallocate
 		p.Components = append(p.Components, v)
-		p.Variances = append(p.Variances, lambda)
+		p.Variances = append(p.Variances, lambda) //aegis:allow(hotpath) arena-backed slice pre-grown to capacity k above; never reallocates
 	}
 	return p, nil
 }

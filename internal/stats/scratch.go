@@ -70,6 +70,13 @@ func growRows(buf [][]float64, n int) [][]float64 {
 
 // MedianOf returns the median of xs without modifying it, staging the
 // copy-and-sort in the arena's sort buffer.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (s *Scratch) MedianOf(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -82,6 +89,13 @@ func (s *Scratch) MedianOf(xs []float64) float64 {
 
 // PercentileOf returns the q-th percentile of xs without modifying it,
 // staging the copy-and-sort in the arena's sort buffer.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
 func (s *Scratch) PercentileOf(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0

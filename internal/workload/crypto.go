@@ -55,7 +55,7 @@ func parseKeyLabel(label string) (uint64, error) {
 	}
 	v, err := strconv.ParseUint(label[4:], 2, KeyBits+1)
 	if err != nil {
-		return 0, fmt.Errorf("workload: bad key label %q: %v", label, err)
+		return 0, fmt.Errorf("workload: bad key label %q: %w", label, err)
 	}
 	return v, nil
 }
