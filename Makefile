@@ -10,7 +10,12 @@ BENCH_ARGS ?= -scale eval -seed 1 -only table2,table3 -parallelism 1,4 -telemetr
 # raise FUZZTIME for a longer campaign (e.g. make fuzz FUZZTIME=60s).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet lint race fmt-check check fuzz bench bench-alloc bench-json bench-check
+# Coverage floor for the observability layer (internal/telemetry/... and
+# internal/ops): the flight recorder and the ops surface are the tools an
+# operator reaches for mid-incident, so their test coverage is gated.
+COVER_FLOOR ?= 85
+
+.PHONY: build test vet lint race fmt-check check fuzz bench bench-alloc bench-json bench-check cover
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
@@ -55,6 +60,18 @@ bench: bench-json
 # still covers the same code for data races.
 bench-alloc:
 	$(GO) test -run 'TestZeroAlloc' -count=1 -v .
+
+# Coverage gate on the observability layer: fails when total statement
+# coverage across internal/telemetry/... + internal/ops drops below
+# COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/telemetry/... ./internal/ops/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@pct=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
+	ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p+0 >= f+0) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "cover: observability coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
 
 # Run the serial-vs-parallel trajectory and record wall-clock/throughput.
 bench-json:

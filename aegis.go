@@ -40,6 +40,7 @@ import (
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/ops"
 	"github.com/repro/aegis/internal/profiler"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
@@ -103,6 +104,11 @@ type Config struct {
 	// extremes) into the fuzzer, the SEV world and the deployed
 	// obfuscators. The zero value is the healthy substrate.
 	Faults faultinject.Config
+	// Ops configures the unified operations surface (/healthz, /readyz,
+	// /metrics, /debug/pprof, /flight, /snapshot). With an empty
+	// Ops.Addr no server is started; otherwise New starts it and
+	// readiness opens once the first defense is deployed.
+	Ops ops.Config
 }
 
 // Framework is a configured Aegis instance.
@@ -111,6 +117,11 @@ type Framework struct {
 	catalog *hpc.Catalog
 	legal   []isa.Variant
 	faults  *faultinject.Injector
+
+	// Ops surface (nil server when Config.Ops.Addr is empty). warmGate
+	// holds /readyz at 503 until the first Protect/ProtectMulti deploy.
+	opsSrv   *ops.Server
+	warmGate *ops.Gate
 }
 
 // New builds a framework for the configured processor.
@@ -151,12 +162,49 @@ func New(cfg Config) (*Framework, error) {
 	telemetry.G("aegis_config_sensitivity").Set(cfg.Sensitivity)
 	telemetry.G("aegis_catalog_events").Set(float64(catalog.Size()))
 	telemetry.G("aegis_legal_instructions").Set(float64(len(clean.Legal)))
-	return &Framework{
-		cfg:     cfg,
-		catalog: catalog,
-		legal:   clean.Legal,
-		faults:  faultinject.New(cfg.Faults),
-	}, nil
+	f := &Framework{
+		cfg:      cfg,
+		catalog:  catalog,
+		legal:    clean.Legal,
+		faults:   faultinject.New(cfg.Faults),
+		warmGate: ops.NewGate("plan-warmup"),
+	}
+	if cfg.Ops.Addr != "" {
+		opsCfg := cfg.Ops
+		if opsCfg.Budget == nil {
+			// Default tracker: the paper's <2% ceiling, fed continuously
+			// from the injected-instruction and vCPU-capacity counters.
+			opsCfg.Budget = ops.NewOverheadBudget(0)
+			reg := opsCfg.Registry
+			if reg == nil {
+				reg = telemetry.Default()
+			}
+			opsCfg.Budget.SetSource(ops.TelemetrySource(reg))
+		}
+		f.opsSrv = ops.NewServer(opsCfg)
+		f.opsSrv.RegisterReadiness(f.warmGate.Probe())
+		f.opsSrv.RegisterHealth(ops.Probe{Name: "catalog", Check: func() ops.ProbeResult {
+			return ops.OK(fmt.Sprintf("%s: %d events", cfg.Processor, catalog.Size()))
+		}})
+		if _, err := f.opsSrv.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// OpsServer returns the running ops server, or nil when Config.Ops.Addr
+// was empty. Callers register component probes on it (aegisctl adds
+// hpc/sev/obfuscator probes around its pipeline).
+func (f *Framework) OpsServer() *ops.Server { return f.opsSrv }
+
+// Close stops the ops server (if any). The framework itself holds no
+// other resources.
+func (f *Framework) Close() error {
+	if f.opsSrv == nil {
+		return nil
+	}
+	return f.opsSrv.Close()
 }
 
 // Catalog returns the processor's HPC event catalog.
@@ -412,6 +460,7 @@ func (f *Framework) ProtectMulti(vm *sev.VM, vcpu int, gs *GadgetSet, epsilon fl
 		return nil, err
 	}
 	mMultiDeploys.Inc()
+	f.warmGate.Open()
 	result.Multi = multi
 	return result, nil
 }
@@ -434,5 +483,6 @@ func (f *Framework) Protect(vm *sev.VM, vcpu int, gs *GadgetSet, mechanism strin
 		return nil, err
 	}
 	mProtectDeploys.Inc()
+	f.warmGate.Open()
 	return obf, nil
 }

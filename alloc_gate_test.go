@@ -22,6 +22,7 @@ import (
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/stats"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 	"github.com/repro/aegis/internal/workload"
 )
 
@@ -38,6 +39,20 @@ func quietTelemetry(t *testing.T) {
 	t.Cleanup(func() { reg.SetEnabled(was) })
 }
 
+// loudFlight pins the flight recorder ON for a gate and restores it
+// afterwards. Unlike the telemetry registry, the recorder does not get
+// quieted: the acceptance bar for these gates is 0 allocs/op WITH
+// incident recording enabled, so the always-on journal is free on the
+// steady-state paths.
+func loudFlight(t *testing.T) *flight.Recorder {
+	t.Helper()
+	rec := flight.Default()
+	was := rec.Enabled()
+	rec.SetEnabled(true)
+	t.Cleanup(func() { rec.SetEnabled(was) })
+	return rec
+}
+
 // requireZeroAllocs asserts a warmed-up path allocates nothing per run.
 func requireZeroAllocs(t *testing.T, name string, runs int, f func()) {
 	t.Helper()
@@ -50,6 +65,7 @@ func requireZeroAllocs(t *testing.T, name string, runs int, f func()) {
 // of the fuzzer's measurement loop and the obfuscator's kernel module.
 func TestZeroAllocRDPMC(t *testing.T) {
 	quietTelemetry(t)
+	loudFlight(t)
 	core := microarch.NewCore(0, microarch.DefaultCoreConfig(), nil)
 	pmu := hpc.NewPMU(core, rng.New(3).Split("pmu"))
 	cat := hpc.NewAMDEpyc7252Catalog(1)
@@ -87,6 +103,8 @@ func TestZeroAllocReadAllInto(t *testing.T) {
 // sample.
 func TestZeroAllocWorldStep(t *testing.T) {
 	quietTelemetry(t)
+	rec := loudFlight(t)
+	before := rec.Total()
 	world := sev.NewWorld(sev.DefaultConfig(4))
 	vm, err := world.LaunchVM(sev.VMConfig{VCPUs: 1, SEV: true})
 	if err != nil {
@@ -98,6 +116,9 @@ func TestZeroAllocWorldStep(t *testing.T) {
 	}
 	world.Run(8) // settle into the idle steady state
 	requireZeroAllocs(t, "World.Step", 256, func() { world.Step() })
+	if rec.Total() == before {
+		t.Error("no world-step summaries journaled: the gate must cover the recording path")
+	}
 }
 
 // TestZeroAllocObfuscatorTick gates the full per-tick protection loop
@@ -105,6 +126,8 @@ func TestZeroAllocWorldStep(t *testing.T) {
 // mechanisms, driven through World.Step like a deployed obfuscator.
 func TestZeroAllocObfuscatorTick(t *testing.T) {
 	quietTelemetry(t)
+	rec := loudFlight(t)
+	before := rec.Total()
 	cat := hpc.NewAMDEpyc7252Catalog(1)
 	ref := cat.MustByName("RETIRED_UOPS")
 	seg := benchSegment(t)
@@ -146,6 +169,31 @@ func TestZeroAllocObfuscatorTick(t *testing.T) {
 			requireZeroAllocs(t, "obfuscator tick "+tc.name, 128, func() { world.Step() })
 		})
 	}
+	if rec.Total() == before {
+		t.Error("no obfuscator-tick records journaled: the gate must cover the recording path")
+	}
+}
+
+// TestZeroAllocFlightRecord gates the recorder write itself: enabled, a
+// journaled record is a mutex-guarded ring store plus counter bumps;
+// disabled, it is a single atomic load. Neither may allocate.
+func TestZeroAllocFlightRecord(t *testing.T) {
+	quietTelemetry(t)
+	rec := flight.NewRecorder(1024)
+	h := rec.Handle(flight.KindFault)
+	requireZeroAllocs(t, "flight.Handle.Record", 512, func() {
+		h.Record(1, flight.CodeFaultPMURead, flight.CodeNone, 1, 2, 3)
+	})
+	requireZeroAllocs(t, "flight.Handle.Incident", 512, func() {
+		h.Incident(2, flight.CodeFaultCounterSaturation, flight.CodeNone, 1, 2, 3)
+	})
+	if rec.Total() == 0 || rec.Incidents() == 0 {
+		t.Fatalf("gate wrote nothing: total=%d incidents=%d", rec.Total(), rec.Incidents())
+	}
+	rec.SetEnabled(false)
+	requireZeroAllocs(t, "flight.Handle.Record disabled", 512, func() {
+		h.Record(3, flight.CodeFaultPMURead, flight.CodeNone, 0, 0, 0)
+	})
 }
 
 // TestZeroAllocStatsScratch gates the arena-reusing numeric kernels at the

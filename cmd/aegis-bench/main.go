@@ -5,7 +5,7 @@
 //
 //	aegis-bench [-only table1,figure9a,...] [-scale test|eval] [-seed N]
 //	            [-parallelism N[,M,...]] [-bench-json PATH]
-//	            [-bench-check BASELINE] [-serial]
+//	            [-bench-check BASELINE] [-serial] [-flight PATH]
 //	            [-cpuprofile PATH] [-memprofile PATH]
 //
 // Without -only, every experiment runs in paper order. The eval scale
@@ -24,6 +24,11 @@
 // entries recorded in BASELINE. Both imply serial job execution so
 // timings are not polluted by sibling experiments; otherwise independent
 // experiments run concurrently (disable with -serial).
+//
+// -flight writes the flight recorder's journal to PATH as aegis-flight/v1
+// JSONL, one labelled dump per experiment as it completes. It implies
+// serial job execution: the recorder is process-global, so concurrent
+// experiments would interleave their records.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the heap profile is taken after a final GC, so it shows
@@ -44,8 +49,10 @@ import (
 	"time"
 
 	"github.com/repro/aegis/internal/experiment"
+	"github.com/repro/aegis/internal/ops"
 	"github.com/repro/aegis/internal/parallel"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 func main() {
@@ -279,6 +286,7 @@ func run(args []string) error {
 		benchOut = fs.String("bench-json", "", "write wall-clock/throughput JSON to this path (implies serial jobs)")
 		baseline = fs.String("bench-check", "", "compare a fresh run against this baseline JSON; fail on >20% regression")
 		serial   = fs.Bool("serial", false, "run experiments one at a time even when not benchmarking")
+		flightTo = fs.String("flight", "", "write per-experiment aegis-flight/v1 JSONL dumps to this path (implies serial jobs)")
 		faults   = fs.String("faults", "", "fault preset for the robustness experiment: off | light | heavy (empty = sweep all)")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this path at exit")
@@ -351,9 +359,21 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments matched %q", *only)
 	}
 
-	// Timing runs must not share the machine with sibling experiments.
+	// Timing runs must not share the machine with sibling experiments,
+	// and flight dumps need experiments serialised so each dump window
+	// holds exactly one experiment's records.
 	timing := *benchOut != "" || *baseline != ""
-	concurrent := !timing && !*serial && len(picked) > 1
+	concurrent := !timing && !*serial && *flightTo == "" && len(picked) > 1
+
+	var flightFile *os.File
+	if *flightTo != "" {
+		f, err := os.Create(*flightTo)
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		flightFile = f
+		defer flightFile.Close()
+	}
 
 	report := benchReport{
 		Schema:     "aegis-bench/v1",
@@ -400,11 +420,20 @@ func run(args []string) error {
 			}
 		} else {
 			for i := range picked {
+				before := flight.Default().Total()
 				if _, err := exec(context.Background(), i); err != nil {
 					return err
 				}
 				fmt.Print(outs[i].text)
 				outs[i].text = ""
+				if flightFile != nil {
+					err := flight.Default().WriteJSONL(flightFile, flight.DumpOptions{
+						Since: before, Label: picked[i].name,
+					})
+					if err != nil {
+						return fmt.Errorf("flight: %w", err)
+					}
+				}
 			}
 		}
 		for _, o := range outs {
@@ -444,8 +473,14 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *flightTo != "" {
+		fmt.Printf("wrote flight journal to %s\n", *flightTo)
+	}
 	if *telem {
 		fmt.Printf("=== telemetry ===\n%s", telemetry.Default().Summary())
+		budget := ops.NewOverheadBudget(0)
+		budget.SetSource(ops.TelemetrySource(telemetry.Default()))
+		fmt.Println(budget.Status().Verdict())
 	}
 	return nil
 }

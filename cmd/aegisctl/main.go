@@ -12,19 +12,37 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
+	"time"
 
 	aegis "github.com/repro/aegis"
 	"github.com/repro/aegis/internal/experiment"
 	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/obfuscator"
+	"github.com/repro/aegis/internal/ops"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/telemetry"
 	"github.com/repro/aegis/internal/workload"
 )
+
+// opsAddrNotify, when set (by tests), receives the bound ops address as
+// soon as the server is up.
+var opsAddrNotify func(addr string)
+
+// tailPollInterval paces -tail -follow polling.
+var tailPollInterval = 500 * time.Millisecond
+
+// holdStop, when non-nil (tests), interrupts -hold early on close.
+var holdStop chan struct{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -49,9 +67,17 @@ func run(args []string) error {
 		faultsFlag = fs.String("faults", faultinject.PresetOff, "substrate fault preset: off | light | heavy (deterministic, seed-derived)")
 		telemFmt   = fs.String("telemetry", "summary", "telemetry dump after the run: summary | json | prom | none")
 		verbose    = fs.Bool("v", false, "stream structured telemetry events to stderr")
+		opsAddr    = fs.String("ops", "", "serve the ops surface (/healthz /readyz /metrics /debug/pprof /flight /snapshot) on this address, e.g. :9144")
+		hold       = fs.Duration("hold", 0, "with -ops: keep serving for this long after the run completes")
+		tailFrom   = fs.String("tail", "", "client mode: stream /flight JSONL from a running ops server (URL or host:port) and exit; ignores pipeline flags")
+		follow     = fs.Bool("follow", false, "with -tail: poll for new records instead of exiting after one dump")
+		tailWindow = fs.Int("window", 0, "with -tail: only the newest N records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tailFrom != "" {
+		return runTail(*tailFrom, *follow, *tailWindow, os.Stdout)
 	}
 	switch *telemFmt {
 	case "summary", "json", "prom", "none":
@@ -77,9 +103,17 @@ func run(args []string) error {
 		ProfileTraceTicks: 80,
 		ProfileRepeats:    4,
 		Faults:            faults,
+		Ops:               ops.Config{Addr: *opsAddr},
 	})
 	if err != nil {
 		return err
+	}
+	defer fw.Close()
+	if srv := fw.OpsServer(); srv != nil {
+		fmt.Printf("ops surface: http://%s (healthz readyz metrics pprof flight snapshot)\n", srv.Addr())
+		if opsAddrNotify != nil {
+			opsAddrNotify(srv.Addr())
+		}
 	}
 	if faults.Enabled() {
 		fmt.Printf("fault injection: %s preset (seed-derived schedules)\n", *faultsFlag)
@@ -157,6 +191,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if srv := fw.OpsServer(); srv != nil {
+		// Component probes: sev world liveness, obfuscator fidelity, and
+		// hpc substrate (degraded when its fault counters move). Probes
+		// run on HTTP handler goroutines while the world steps
+		// single-threaded, so they read only atomic telemetry counters —
+		// never live simulation objects like World or Obfuscator.
+		reg := telemetry.Default()
+		srv.RegisterHealth(ops.Probe{Name: "sev", Check: func() ops.ProbeResult {
+			return ops.OK(fmt.Sprintf("tick %.0f", reg.Counter(telemetry.MetricSevWorldTicksTotal).Value()))
+		}})
+		srv.RegisterHealth(ops.Probe{Name: "obfuscator", Check: func() ops.ProbeResult {
+			total := reg.Counter(telemetry.MetricObfuscatorTicksTotal).Value()
+			var degraded float64
+			for _, r := range obfuscator.DegradeReasons {
+				degraded += reg.Counter(telemetry.MetricObfuscatorDegradedTicksTotal,
+					telemetry.L("reason", string(r))).Value()
+			}
+			if degraded == 0 {
+				return ops.OK(fmt.Sprintf("%.0f ticks, full fidelity", total))
+			}
+			return ops.Degraded(fmt.Sprintf("%.0f/%.0f ticks degraded", degraded, total))
+		}})
+		srv.RegisterHealth(ops.Probe{Name: "hpc", Check: func() ops.ProbeResult {
+			hpcFaults := reg.Counter(telemetry.MetricFaultInjectedTotal,
+				telemetry.L("kind", faultinject.KindPMURead.String())).Value() +
+				reg.Counter(telemetry.MetricFaultInjectedTotal,
+					telemetry.L("kind", faultinject.KindCounterSaturation.String())).Value()
+			if hpcFaults == 0 {
+				return ops.OK("counters clean")
+			}
+			return ops.Degraded(fmt.Sprintf("%.0f PMU read/saturation faults", hpcFaults))
+		}})
+	}
 	world.Run(*ticks)
 
 	usage, err := vm.CPUUsage(0, 0)
@@ -200,7 +267,111 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if srv := fw.OpsServer(); srv != nil && *hold > 0 {
+		fmt.Printf("holding ops surface at http://%s for %s (ctrl-c to stop)\n", srv.Addr(), *hold)
+		select {
+		case <-time.After(*hold):
+		case <-holdStop:
+		}
+	}
 	return nil
+}
+
+// runTail is the -tail client: it fetches /flight from a running ops
+// server and prints the JSONL to stdout; with -follow it keeps polling
+// ?since=<last seq> so new records stream as they are journaled.
+func runTail(target string, follow bool, window int, out io.Writer) error {
+	base, err := tailURL(target)
+	if err != nil {
+		return err
+	}
+	var since uint64
+	first := true
+	for {
+		u := base
+		q := url.Values{}
+		if window > 0 && first {
+			q.Set("window", fmt.Sprint(window))
+		}
+		if since > 0 {
+			q.Set("since", fmt.Sprint(since))
+		}
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		last, lines, err := fetchFlight(u, out, !first)
+		if err != nil {
+			return err
+		}
+		if last > since {
+			since = last
+		}
+		_ = lines
+		if !follow {
+			return nil
+		}
+		first = false
+		time.Sleep(tailPollInterval)
+	}
+}
+
+// tailURL normalises a -tail target: a bare host:port becomes
+// http://host:port/flight; a URL without a path gains /flight.
+func tailURL(target string) (string, error) {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return "", fmt.Errorf("bad -tail target: %w", err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/flight"
+	}
+	u.RawQuery = ""
+	return u.String(), nil
+}
+
+// fetchFlight streams one /flight response to w, returning the greatest
+// record seq seen and the number of record lines. With skipHeader the
+// header line is dropped (follow polls re-send it).
+func fetchFlight(u string, w io.Writer, skipHeader bool) (uint64, int, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return 0, 0, fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var (
+		last  uint64
+		lines int
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	headerSeen := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !headerSeen {
+			headerSeen = true
+			if skipHeader {
+				continue
+			}
+			fmt.Fprintln(w, line)
+			continue
+		}
+		var rec struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && rec.Seq > last {
+			last = rec.Seq
+		}
+		lines++
+		fmt.Fprintln(w, line)
+	}
+	return last, lines, sc.Err()
 }
 
 func pickApp(name string, secrets int) (workload.App, error) {

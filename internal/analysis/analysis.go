@@ -84,6 +84,7 @@ func AllRules() []*Rule {
 	rules := []*Rule{
 		detrandRule,
 		errwrapRule,
+		flightkindRule,
 		hotpathRule,
 		maprangeRule,
 		metricnameRule,

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// flightkindRule keeps the flight-recorder record taxonomy closed: every
+// value of type flight.Kind handed to the flight package's entry points
+// (Get, Handle, and anything else taking a Kind parameter) must be a
+// direct reference to one of the exported Kind* constants declared in
+// internal/telemetry/flight. Arbitrary numeric conversions, variables, or
+// locally minted kinds would journal records the aegis-flight/v1 dump
+// schema and the /flight ?kind= filter do not know, silently breaking
+// incident forensics. Call sites inside the flight package itself (the
+// implementation iterating its own taxonomy) are exempt.
+var flightkindRule = &Rule{
+	Name: "flightkind",
+	Doc:  "flight record kinds are registered flight.Kind* constants",
+	Run:  runFlightkind,
+}
+
+// flightPkgSuffix matches the flight package by import-path suffix, so
+// fixture trees can opt in with the same layout.
+const flightPkgSuffix = "internal/telemetry/flight"
+
+func runFlightkind(pass *Pass) {
+	if pathHasSuffix(pass.Path, flightPkgSuffix) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !pkgPathHasSuffix(fn.Pkg(), flightPkgSuffix) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			params := sig.Params()
+			for i := 0; i < params.Len() && i < len(call.Args); i++ {
+				if isFlightKindType(params.At(i).Type()) {
+					checkFlightKindArg(pass, call.Args[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFlightKindType reports whether t is the named type Kind declared in
+// the flight package.
+func isFlightKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && pkgPathHasSuffix(obj.Pkg(), flightPkgSuffix)
+}
+
+// checkFlightKindArg requires the argument to name an exported Kind*
+// constant from the flight package.
+func checkFlightKindArg(pass *Pass, arg ast.Expr) {
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[e.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok && c.Exported() &&
+		strings.HasPrefix(c.Name(), "Kind") &&
+		pkgPathHasSuffix(c.Pkg(), flightPkgSuffix) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "flight record kind must be a registered flight.Kind* constant from %s", flightPkgSuffix)
+}

@@ -1,0 +1,26 @@
+// Fixture for the flightkind rule: record kinds at call sites must be
+// the registered flight.Kind* constants.
+package app
+
+import "fixture/internal/telemetry/flight"
+
+// localKind is constant but minted outside the flight package.
+const localKind flight.Kind = 1
+
+var dynKind = flight.KindFault
+
+var (
+	good       = flight.Get(flight.KindObfuscatorTick)
+	goodParens = flight.Get((flight.KindFault))
+
+	badConversion = flight.Get(flight.Kind(3)) // want "registered flight.Kind"
+	badLocalConst = flight.Get(localKind)      // want "registered flight.Kind"
+	badVariable   = flight.Get(dynKind)        // want "registered flight.Kind"
+
+	allowed = flight.Get(flight.Kind(7)) //aegis:allow(flightkind) fixture: probing an unregistered kind on purpose
+)
+
+func methods(r *flight.Recorder) {
+	r.Handle(flight.KindFault)
+	r.Handle(flight.Kind(9)) // want "registered flight.Kind"
+}

@@ -25,6 +25,7 @@ import (
 
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -93,6 +94,20 @@ var mInjected = func() [numKinds]*telemetry.Counter {
 	}
 	return out
 }()
+
+// fFault journals every injected fault as a flight incident; flightCodes
+// maps each kind onto the shared record taxonomy.
+var (
+	fFault      = flight.Get(flight.KindFault)
+	flightCodes = [numKinds]flight.Code{
+		KindPMURead:             flight.CodeFaultPMURead,
+		KindCounterSaturation:   flight.CodeFaultCounterSaturation,
+		KindMultiplexStarvation: flight.CodeFaultMultiplexStarvation,
+		KindPreemption:          flight.CodeFaultPreemption,
+		KindGadgetInterrupt:     flight.CodeFaultGadgetInterrupt,
+		KindDrawExtreme:         flight.CodeFaultDrawExtreme,
+	}
+)
 
 // Config sets the per-tick (or per-query) probability of each fault class
 // plus its shape parameters. The zero value injects nothing.
@@ -289,6 +304,7 @@ func (h *Handle) fire(k Kind, rate float64) bool {
 	h.counts[k]++
 	h.root.totals[k].Add(1)
 	mInjected[k].Inc()
+	fFault.Incident(0, flightCodes[k], flight.CodeNone, 0, 0, 0)
 	return true
 }
 

@@ -31,6 +31,7 @@ import (
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/stats"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // Fuzzer metrics: candidate funnel (tried → screened → confirmed),
@@ -54,6 +55,11 @@ var (
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250})
 	hEventSeconds = telemetry.H("fuzzer_event_seconds", telemetry.DefBuckets)
 	hCoverSeconds = telemetry.H("fuzzer_cover_seconds", telemetry.DefBuckets)
+
+	// fStage journals stage completions; only from input-ordered merge
+	// points or stage boundaries, never from shard workers, so the
+	// journal stays replay-stable.
+	fStage = flight.Get(flight.KindStage)
 )
 
 // Errors returned by the fuzzer.
@@ -671,6 +677,10 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 			continue
 		}
 		res.PerEvent[name] = out.findings
+		// Journal at the input-ordered merge point, not in the shard
+		// worker, so the stage records stay replay-stable.
+		fStage.Record(0, flight.CodeStageFuzzerEvent,
+			flight.CodeNone, float64(out.tried), float64(len(out.findings)), 0)
 	}
 	if len(errs) == len(events) {
 		return nil, fmt.Errorf("fuzzer: every event failed: %w", errors.Join(errs...))
@@ -695,6 +705,8 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	// touches only reported candidates).
 	res.Timing.GenerateExec = genElapsed * 95 / 100
 	res.Timing.Confirmation = genElapsed - res.Timing.GenerateExec
+	fStage.Record(0, flight.CodeStageFuzzerCampaign, flight.CodeNone,
+		float64(len(events)), float64(len(res.Skipped)), 0)
 	telemetry.Log().Info("fuzzer: campaign done",
 		telemetry.F("events", len(events)),
 		telemetry.F("tried", res.CandidatesTried),
@@ -812,6 +824,8 @@ func (f *Fuzzer) MinimalCover(res *Result, events []*hpc.Event) ([]CoverageEntry
 		}
 		out = append(out, entry)
 	}
+	fStage.Record(0, flight.CodeStageFuzzerCover, flight.CodeNone,
+		float64(len(out)), float64(len(coverable)), 0)
 	return out, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // PMU metrics: raw counter-read and programming volume. RDPMC reads are
@@ -18,6 +19,11 @@ var (
 	mRDPMCReads  = telemetry.C("hpc_rdpmc_reads_total")
 	mPMUPrograms = telemetry.C("hpc_pmu_programs_total")
 	mPMUResets   = telemetry.C("hpc_pmu_resets_total")
+
+	// fPMU journals counter lifecycle events: saturation latches are
+	// incidents (the reader is now seeing garbage until a re-arm),
+	// re-programming a latched slot is the matching recovery record.
+	fPMU = flight.Get(flight.KindPMU)
 )
 
 // NumCounterRegisters is the number of programmable HPC registers per core;
@@ -96,6 +102,9 @@ func (p *PMU) Program(slot int, e *Event) error {
 	if e == nil {
 		return ErrNilEvent
 	}
+	if p.slots[slot].saturated {
+		fPMU.Record(0, flight.CodePMURearmed, flight.CodeNone, float64(slot), 0, 0)
+	}
 	p.slots[slot] = pmcSlot{event: e, base: p.core.Counters()}
 	mPMUPrograms.Inc()
 	return nil
@@ -135,6 +144,7 @@ func (p *PMU) RDPMC(slot int) (float64, error) {
 	}
 	if latch, ok := p.faults.CounterSaturation(); ok {
 		s.saturated, s.satValue = true, latch
+		fPMU.Incident(0, flight.CodePMUSaturated, flight.CodeNone, float64(slot), latch, 0)
 		return latch, nil
 	}
 	delta := p.core.Counters().Sub(s.base)

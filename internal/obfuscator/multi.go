@@ -8,6 +8,7 @@ import (
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // Multi-event deployment metrics, kept separate from the single-event
@@ -19,6 +20,7 @@ var (
 	mMultiDegradedPlans  = telemetry.C("obfuscator_multi_degraded_plan_ticks_total")
 	mMultiRetries        = telemetry.C("obfuscator_multi_retries_total")
 	mMultiRearms         = telemetry.C("obfuscator_multi_counter_rearms_total")
+	mMultiInjectedInstr  = telemetry.C("obfuscator_multi_injected_instructions_total")
 )
 
 // multiMaxRetries bounds per-plan, per-tick recovery attempts; the
@@ -151,7 +153,7 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 		ps := &m.plans[i]
 		if !ps.kmod.attached {
 			if err := ps.kmod.attach(g.Core(), ps.plan.Event, ps.faults); err != nil {
-				m.degradePlan()
+				m.degradePlan(t)
 				continue
 			}
 		}
@@ -164,14 +166,14 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 				v, err = ps.kmod.readAndReset()
 			}
 			if err != nil {
-				m.degradePlan()
+				m.degradePlan(t)
 				continue
 			}
 			if ps.kmod.saturated() {
 				// Latched at the overflow cap: re-arm and treat the
 				// observation as lost rather than feeding the cap in.
 				if rerr := ps.kmod.rearm(ps.plan.Event); rerr != nil {
-					m.degradePlan()
+					m.degradePlan(t)
 					continue
 				}
 				m.counterRearms++
@@ -198,7 +200,7 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 		for r := 0; r < planned; {
 			n, err := g.ExecuteSeq(ps.plan.Segment)
 			if err != nil {
-				m.degradePlan()
+				m.degradePlan(t)
 				break
 			}
 			if n == len(ps.plan.Segment) {
@@ -223,13 +225,14 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 				planned = r + (remaining+1)/2
 				continue
 			}
-			m.degradePlan()
+			m.degradePlan(t)
 			break
 		}
 		applied := float64(injected) * ps.perExec
 		ps.injectedCounts += applied
 		m.injectedReps += int64(injected)
 		mMultiInjectedReps.Add(float64(injected))
+		mMultiInjectedInstr.Add(float64(injected * len(ps.plan.Segment)))
 		if d, ok := ps.plan.Mechanism.(*DStarMechanism); ok {
 			d.Commit(t, applied)
 		}
@@ -239,9 +242,13 @@ func (m *MultiObfuscator) Step(g *sev.GuestExecutor) {
 	}
 }
 
-func (m *MultiObfuscator) degradePlan() {
+func (m *MultiObfuscator) degradePlan(t int64) {
 	m.degradedPlanTicks++
 	mMultiDegradedPlans.Inc()
+	// Plan degradations share one journal code: the multi deployer does
+	// not split by reason, and the record's payload disambiguates enough
+	// for incident triage (see ProtectionReport on the single deployer).
+	fTick.Incident(t, flight.CodeDegradedPlan, flight.CodeNone, 0, 0, 0)
 }
 
 // SecretDependentMechanism wraps a base mechanism with a constant,

@@ -11,6 +11,7 @@ import (
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // Obfuscator metrics: per-tick injection volume, clip/budget saturation,
@@ -23,8 +24,13 @@ var (
 	mInjectedCounts  = telemetry.C("obfuscator_injected_counts_total")
 	mClipSaturations = telemetry.C("obfuscator_clip_saturations_total")
 	mRepSaturations  = telemetry.C("obfuscator_budget_saturations_total")
+	mInjectedInstr   = telemetry.C("obfuscator_injected_instructions_total")
 	hDrawNanos       = telemetry.H("obfuscator_mechanism_draw_ns",
 		telemetry.ExpBuckets(64, 4, 8))
+
+	// fTick journals every tick outcome in the flight recorder; degraded
+	// ticks are incidents and mark the ring dirty.
+	fTick = flight.Get(flight.KindObfuscatorTick)
 
 	// Robustness metrics.
 	mRetries          = telemetry.C("obfuscator_retries_total")
@@ -35,40 +41,71 @@ var (
 	mMechFallbacks    = telemetry.C("obfuscator_mechanism_fallbacks_total")
 	// mDegraded is created eagerly per reason so the metric names are
 	// stable in expositions even before any fault fires.
-	mDegraded = func() map[string]*telemetry.Counter {
-		out := make(map[string]*telemetry.Counter, len(DegradeReasons))
+	mDegraded = func() map[DegradeReason]*telemetry.Counter {
+		out := make(map[DegradeReason]*telemetry.Counter, len(DegradeReasons))
 		for _, r := range DegradeReasons {
-			out[r] = telemetry.C("obfuscator_degraded_ticks_total", telemetry.L("reason", r))
+			out[r] = telemetry.C("obfuscator_degraded_ticks_total", telemetry.L("reason", string(r)))
 		}
 		return out
 	}()
 )
 
-// Degradation reasons recorded on TickInfo and the
-// obfuscator_degraded_ticks_total{reason=...} counter.
+// DegradeReason is the closed enum of degradation reasons. The same
+// spelling travels everywhere a reason is exported: TickInfo,
+// ProtectionReport.DegradedByReason, the
+// obfuscator_degraded_ticks_total{reason=...} Prometheus label, and
+// (via FlightCode) the flight recorder's JSONL dumps — so label
+// cardinality is bounded by this enum and a grep for one spelling finds
+// every surface.
+type DegradeReason string
+
+// Registered degradation reasons.
 const (
 	// ReasonKmodAttach: the kernel module could not attach its PMU.
-	ReasonKmodAttach = "kmod-attach"
+	ReasonKmodAttach DegradeReason = "kmod-attach"
 	// ReasonPMURead: the reference-event RDPMC read kept failing after
 	// bounded retries; the tick proceeds without an observation.
-	ReasonPMURead = "pmu-read"
+	ReasonPMURead DegradeReason = "pmu-read"
 	// ReasonCounterRearm: the reference counter was found latched at its
 	// overflow cap and was re-programmed; this tick's observation is lost.
-	ReasonCounterRearm = "counter-rearm"
+	ReasonCounterRearm DegradeReason = "counter-rearm"
 	// ReasonDStarClipFallback: repeated clip saturations forced the d*
 	// mechanism to fall back to Laplace, changing the privacy guarantee.
-	ReasonDStarClipFallback = "dstar-clip-fallback"
+	ReasonDStarClipFallback DegradeReason = "dstar-clip-fallback"
 	// ReasonRetryExhausted: gadget injection kept getting interrupted and
 	// the retry budget ran out before the plan completed.
-	ReasonRetryExhausted = "retry-exhausted"
+	ReasonRetryExhausted DegradeReason = "retry-exhausted"
 	// ReasonExecError: the guest executor failed outright.
-	ReasonExecError = "exec-error"
+	ReasonExecError DegradeReason = "exec-error"
 )
 
 // DegradeReasons lists every degradation reason in stable order.
-var DegradeReasons = []string{
+var DegradeReasons = []DegradeReason{
 	ReasonKmodAttach, ReasonPMURead, ReasonCounterRearm,
 	ReasonDStarClipFallback, ReasonRetryExhausted, ReasonExecError,
+}
+
+// String returns the stable wire name (also the Prometheus label value).
+func (r DegradeReason) String() string { return string(r) }
+
+// FlightCode maps the reason onto the flight-record taxonomy.
+func (r DegradeReason) FlightCode() flight.Code {
+	switch r {
+	case ReasonKmodAttach:
+		return flight.CodeDegradedKmodAttach
+	case ReasonPMURead:
+		return flight.CodeDegradedPMURead
+	case ReasonCounterRearm:
+		return flight.CodeDegradedCounterRearm
+	case ReasonDStarClipFallback:
+		return flight.CodeDegradedDStarClipFallback
+	case ReasonRetryExhausted:
+		return flight.CodeDegradedRetryExhausted
+	case ReasonExecError:
+		return flight.CodeDegradedExecError
+	default:
+		return flight.CodeNone
+	}
 }
 
 // TickOutcome classifies what one obfuscator tick did. Outcomes are
@@ -116,7 +153,7 @@ type TickInfo struct {
 	Outcome TickOutcome
 	// DegradedReason names the first degradation that hit (Outcome ==
 	// TickDegraded only).
-	DegradedReason string
+	DegradedReason DegradeReason
 	// RawDraw is the mechanism's draw before clipping (or the injected
 	// draw-extreme fault value).
 	RawDraw float64
@@ -141,8 +178,8 @@ type TickInfo struct {
 type ProtectionReport struct {
 	Ticks, InjectedTicks, ZeroDrawTicks, NoInjectionTicks, DegradedTicks int64
 	// DegradedByReason splits DegradedTicks (plus fallback events) by
-	// reason string.
-	DegradedByReason map[string]int64
+	// reason.
+	DegradedByReason map[DegradeReason]int64
 	// Retries, CounterRearms, MechanismFallbacks count recovery actions.
 	Retries, CounterRearms, MechanismFallbacks int64
 	// FaultsSeen is the number of faults injected into this obfuscator's
@@ -279,7 +316,8 @@ type Obfuscator struct {
 	zeroDrawTicks    int64
 	noInjectionTicks int64
 	degradedTicks    int64
-	degradedByReason map[string]int64
+	degradedByReason map[DegradeReason]int64
+	mechCode         flight.Code
 	retriesTotal     int64
 	counterRearms    int64
 	fallbacks        int64
@@ -322,8 +360,9 @@ func New(cfg Config) (*Obfuscator, error) {
 		maxRetries:       maxRetries,
 		mech:             cfg.Mechanism,
 		fallbackAfter:    fallbackAfter,
-		degradedByReason: make(map[string]int64),
+		degradedByReason: make(map[DegradeReason]int64),
 	}
+	o.mechCode = mechFlightCode(o.mech)
 	o.kmodFaults = o.faults.Handle("obfuscator", "kmod")
 	o.drawFaults = o.faults.Handle("obfuscator", "draw")
 	// Prepare the d*→Laplace fallback with the same privacy parameters:
@@ -404,7 +443,7 @@ func (o *Obfuscator) LastTick() TickInfo { return o.last }
 
 // Report returns the cumulative protection report.
 func (o *Obfuscator) Report() ProtectionReport {
-	byReason := make(map[string]int64, len(o.degradedByReason))
+	byReason := make(map[DegradeReason]int64, len(o.degradedByReason))
 	//aegis:allow(maprange) flat key-by-key copy into a fresh map; iteration order cannot leak
 	for k, v := range o.degradedByReason {
 		byReason[k] = v
@@ -456,11 +495,49 @@ func (o *Obfuscator) Step(g *sev.GuestExecutor) {
 			c.Inc()
 		}
 	}
+	// Journal the tick: code is the outcome (or degradation reason), sub
+	// the active mechanism, payload the draw/injection/retry shape.
+	if info.Outcome == TickDegraded {
+		fTick.Incident(info.Tick, info.DegradedReason.FlightCode(), o.mechCode,
+			info.Noise, float64(info.Injected), float64(info.Retries))
+	} else {
+		fTick.Record(info.Tick, tickFlightCode(info.Outcome), o.mechCode,
+			info.Noise, float64(info.Injected), float64(info.Retries))
+	}
+}
+
+// tickFlightCode maps a healthy outcome onto the flight-record taxonomy.
+func tickFlightCode(o TickOutcome) flight.Code {
+	switch o {
+	case TickZeroDraw:
+		return flight.CodeTickZeroDraw
+	case TickNoInjection:
+		return flight.CodeTickNoInjection
+	default:
+		return flight.CodeTickInjected
+	}
+}
+
+// mechFlightCode maps the active mechanism onto the flight sub-code
+// journaled with every tick record.
+func mechFlightCode(m Mechanism) flight.Code {
+	switch m.(type) {
+	case *LaplaceMechanism:
+		return flight.CodeMechLaplace
+	case *DStarMechanism:
+		return flight.CodeMechDStar
+	case *RandomNoiseMechanism:
+		return flight.CodeMechRandom
+	case *ConstantOutputMechanism:
+		return flight.CodeMechConstant
+	default:
+		return flight.CodeMechOther
+	}
 }
 
 // degrade marks the tick's outcome as degraded with the given reason (the
 // first reason sticks).
-func degrade(info *TickInfo, reason string) {
+func degrade(info *TickInfo, reason DegradeReason) {
 	info.Outcome = TickDegraded
 	if info.DegradedReason == "" {
 		info.DegradedReason = reason
@@ -548,6 +625,7 @@ func (o *Obfuscator) runTick(g *sev.GuestExecutor, t int64) TickInfo {
 	// memoryless Laplace fallback (same ε and Δ) from the next tick on.
 	if o.fallback != nil && o.mech != o.fallback && o.consecClips >= o.fallbackAfter {
 		o.mech = o.fallback
+		o.mechCode = mechFlightCode(o.mech)
 		o.fallbacks++
 		mMechFallbacks.Inc()
 		info.FellBack = true
@@ -619,6 +697,7 @@ func (o *Obfuscator) runTick(g *sev.GuestExecutor, t int64) TickInfo {
 	o.injectedReps += int64(injectedReps)
 	mInjectedReps.Add(float64(injectedReps))
 	mInjectedCounts.Add(applied)
+	mInjectedInstr.Add(float64(injectedReps * len(o.cfg.Segment)))
 	if info.Outcome == TickInjected && injectedReps == 0 {
 		// The plan asked for reps but none retired (e.g. budget hit on
 		// the very first segment): an empty tick, not an injected one.

@@ -31,6 +31,7 @@ import (
 	"github.com/repro/aegis/internal/sev"
 	"github.com/repro/aegis/internal/stats"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 	"github.com/repro/aegis/internal/workload"
 )
 
@@ -44,6 +45,10 @@ var (
 	hTraceSeconds    = telemetry.H("profiler_trace_collect_seconds", telemetry.DefBuckets)
 	hMIScoreSeconds  = telemetry.H("profiler_mi_score_seconds",
 		telemetry.ExpBuckets(1e-5, 10, 8))
+
+	// fStage journals stage completions at stage boundaries only (never
+	// from shard workers), keeping the journal replay-stable.
+	fStage = flight.Get(flight.KindStage)
 )
 
 // Errors returned by the profiler.
@@ -309,6 +314,8 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 	}
 	mWarmupRemaining.Add(float64(len(res.Remaining)))
 	mWarmupFiltered.Add(float64(res.TotalEvents - len(res.Remaining)))
+	fStage.Record(0, flight.CodeStageProfilerWarmup, flight.CodeNone,
+		float64(len(res.Remaining)), float64(res.TotalEvents-len(res.Remaining)), 0)
 	telemetry.Log().Info("profiler: warm-up filtering done",
 		telemetry.F("app", app.Name()),
 		telemetry.F("total", res.TotalEvents),
@@ -490,6 +497,8 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	}
 	scoreSpan.End()
 	mRankedEvents.Add(float64(len(ranked)))
+	fStage.Record(0, flight.CodeStageProfilerRank, flight.CodeNone,
+		float64(len(ranked)), float64(len(events)-len(ranked)), 0)
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].MI > ranked[j].MI })
 	return ranked, nil
 }

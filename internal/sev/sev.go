@@ -20,6 +20,7 @@ import (
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/rng"
 	"github.com/repro/aegis/internal/telemetry"
+	"github.com/repro/aegis/internal/telemetry/flight"
 )
 
 // World metrics: scheduler tick volume and VM lifecycle, the base rates
@@ -28,6 +29,11 @@ var (
 	mWorldTicks  = telemetry.C("sev_world_ticks_total")
 	mVCPUSteps   = telemetry.C("sev_vcpu_steps_total")
 	mVMsLaunched = telemetry.C("sev_vms_launched_total")
+	gTickBudget  = telemetry.G("sev_tick_budget")
+
+	// fWorld journals a periodic world summary so a flight dump around an
+	// incident shows the machine shape without needing full metrics.
+	fWorld = flight.Get(flight.KindWorldStep)
 )
 
 // Errors returned by the SEV world.
@@ -247,6 +253,9 @@ func NewWorld(cfg Config) *World {
 	if cfg.TickBudget < 1 {
 		cfg.TickBudget = 1000
 	}
+	// Last world wins: the gauge feeds the ops overhead-budget tracker,
+	// which observes the live deployment, not retired test worlds.
+	gTickBudget.Set(float64(cfg.TickBudget))
 	root := rng.New(cfg.Seed).Split("sev/world")
 	w := &World{
 		cfg:    cfg,
@@ -416,9 +425,11 @@ func (w *World) DestroyVM(id int) error {
 func (w *World) Step() {
 	w.tick++
 	mWorldTicks.Inc()
+	vcpuSteps := 0
 	for _, vm := range w.vmOrder {
 		for _, vc := range vm.vcpus {
 			mVCPUSteps.Inc()
+			vcpuSteps++
 			core := w.cores[vc.physCore]
 			if w.faults != nil && vc.faults == nil {
 				vc.faults = w.faults.Handle("sev", vc.faultLabel)
@@ -455,7 +466,15 @@ func (w *World) Step() {
 			}
 		}
 	}
+	if w.tick%worldSummaryEvery == 0 {
+		fWorld.Record(w.tick, flight.CodeWorldSummary, flight.CodeNone,
+			float64(len(w.vmOrder)), float64(vcpuSteps), 0)
+	}
 }
+
+// worldSummaryEvery is the world-summary journaling period: sparse enough
+// that summaries never crowd per-tick records out of the flight ring.
+const worldSummaryEvery = 64
 
 // Run advances the world by n ticks.
 func (w *World) Run(n int) {

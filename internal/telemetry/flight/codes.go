@@ -1,0 +1,127 @@
+// Code in this file is the flight-record taxonomy: every Code value a
+// recording site may journal, grouped by the Kind it belongs to. Like
+// telemetry/names.go for metric names, this is the single reviewed file
+// that pins the wire vocabulary of the "aegis-flight/v1" JSONL schema —
+// adding an outcome, degradation reason, fault class or stage is a
+// deliberate, diffable change here, never an ad-hoc literal at a call
+// site. Wire names mirror the exporting package's own stable enums
+// (obfuscator.DegradeReason, faultinject.Kind.String) so a grep for a
+// Prometheus label value finds the same spelling in a flight dump.
+
+package flight
+
+// Code identifies what happened within a record's kind. The zero value
+// CodeNone means "no sub-classification".
+type Code uint8
+
+// Registered record codes.
+const (
+	CodeNone Code = iota
+
+	// KindObfuscatorTick outcomes (healthy ticks).
+	CodeTickInjected
+	CodeTickZeroDraw
+	CodeTickNoInjection
+
+	// KindObfuscatorTick degradation reasons (incident ticks). One per
+	// obfuscator.DegradeReason, plus CodeDegradedPlan for a
+	// MultiObfuscator plan that degraded without a per-reason split.
+	CodeDegradedKmodAttach
+	CodeDegradedPMURead
+	CodeDegradedCounterRearm
+	CodeDegradedDStarClipFallback
+	CodeDegradedRetryExhausted
+	CodeDegradedExecError
+	CodeDegradedPlan
+
+	// KindObfuscatorTick sub-codes: the noise mechanism that drove the
+	// tick.
+	CodeMechLaplace
+	CodeMechDStar
+	CodeMechRandom
+	CodeMechConstant
+	CodeMechOther
+
+	// KindFault codes, one per faultinject.Kind.
+	CodeFaultPMURead
+	CodeFaultCounterSaturation
+	CodeFaultMultiplexStarvation
+	CodeFaultPreemption
+	CodeFaultGadgetInterrupt
+	CodeFaultDrawExtreme
+
+	// KindPMU counter lifecycle codes.
+	CodePMUSaturated
+	CodePMURearmed
+
+	// KindWorldStep codes.
+	CodeWorldSummary
+
+	// KindStage completion codes.
+	CodeStageProfilerWarmup
+	CodeStageProfilerRank
+	CodeStageFuzzerEvent
+	CodeStageFuzzerCover
+	CodeStageFuzzerCampaign
+
+	numCodes
+)
+
+// codeNames holds the stable wire names, indexed by Code.
+var codeNames = [numCodes]string{
+	CodeNone: "none",
+
+	CodeTickInjected:    "injected",
+	CodeTickZeroDraw:    "zero-draw",
+	CodeTickNoInjection: "no-injection",
+
+	CodeDegradedKmodAttach:        "degraded:kmod-attach",
+	CodeDegradedPMURead:           "degraded:pmu-read",
+	CodeDegradedCounterRearm:      "degraded:counter-rearm",
+	CodeDegradedDStarClipFallback: "degraded:dstar-clip-fallback",
+	CodeDegradedRetryExhausted:    "degraded:retry-exhausted",
+	CodeDegradedExecError:         "degraded:exec-error",
+	CodeDegradedPlan:              "degraded:plan",
+
+	CodeMechLaplace:  "mech:laplace",
+	CodeMechDStar:    "mech:dstar",
+	CodeMechRandom:   "mech:random",
+	CodeMechConstant: "mech:constant",
+	CodeMechOther:    "mech:other",
+
+	CodeFaultPMURead:             "fault:pmu-read",
+	CodeFaultCounterSaturation:   "fault:counter-saturation",
+	CodeFaultMultiplexStarvation: "fault:multiplex-starvation",
+	CodeFaultPreemption:          "fault:vcpu-preemption",
+	CodeFaultGadgetInterrupt:     "fault:gadget-interrupt",
+	CodeFaultDrawExtreme:         "fault:draw-extreme",
+
+	CodePMUSaturated: "pmu:saturated",
+	CodePMURearmed:   "pmu:rearmed",
+
+	CodeWorldSummary: "world:summary",
+
+	CodeStageProfilerWarmup: "stage:profiler-warmup",
+	CodeStageProfilerRank:   "stage:profiler-rank",
+	CodeStageFuzzerEvent:    "stage:fuzzer-event",
+	CodeStageFuzzerCover:    "stage:fuzzer-cover",
+	CodeStageFuzzerCampaign: "stage:fuzzer-campaign",
+}
+
+// String returns the stable wire name of the code.
+func (c Code) String() string {
+	if c >= numCodes {
+		return "unknown"
+	}
+	return codeNames[c]
+}
+
+// CodeByName resolves a wire name back to its code.
+func CodeByName(name string) (Code, bool) {
+	for c := Code(0); c < numCodes; c++ {
+		if codeNames[c] == name {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,143 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenJournal writes a fixed set of records covering every kind.
+func goldenJournal() *Recorder {
+	r := NewRecorder(8)
+	r.Handle(KindObfuscatorTick).Record(1, CodeTickInjected, CodeMechLaplace, 2.5, 3, 0)
+	r.Handle(KindObfuscatorTick).Record(2, CodeTickZeroDraw, CodeMechLaplace, -0.5, 0, 0)
+	r.Handle(KindFault).Incident(3, CodeFaultCounterSaturation, CodeNone, 0, 0, 0)
+	r.Handle(KindPMU).Incident(3, CodePMUSaturated, CodeNone, 1, 65535, 0)
+	r.Handle(KindObfuscatorTick).Incident(3, CodeDegradedCounterRearm, CodeMechLaplace, 1.5, 1, 1)
+	r.Handle(KindPMU).Record(4, CodePMURearmed, CodeNone, 1, 0, 0)
+	r.Handle(KindWorldStep).Record(64, CodeWorldSummary, CodeNone, 2, 4, 0)
+	r.Handle(KindStage).Record(0, CodeStageFuzzerEvent, CodeNone, 120, 7, 0)
+	return r
+}
+
+// TestJSONLGolden pins the aegis-flight/v1 wire format byte for byte.
+// Regenerate with AEGIS_UPDATE_GOLDEN=1 go test ./internal/telemetry/flight.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenJournal().WriteJSONL(&buf, DumpOptions{Label: "golden"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "flight_v1.golden")
+	if os.Getenv("AEGIS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with AEGIS_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSONL drifted from %s.\ngot:\n%swant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestDumpIsReplayStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenJournal().WriteJSONL(&a, DumpOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenJournal().WriteJSONL(&b, DumpOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical journals dumped differently")
+	}
+}
+
+func TestDumpHeaderSchemaAndDropped(t *testing.T) {
+	r := NewRecorder(2)
+	h := r.Handle(KindFault)
+	for i := 1; i <= 5; i++ {
+		h.Incident(int64(i), CodeFaultPMURead, CodeNone, 0, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, DumpOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr struct {
+		Schema    string `json:"schema"`
+		Capacity  int    `json:"capacity"`
+		Dropped   uint64 `json:"dropped"`
+		Records   int    `json:"records"`
+		Incidents uint64 `json:"incidents"`
+	}
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v\n%s", err, line)
+	}
+	if hdr.Schema != SchemaV1 {
+		t.Fatalf("schema = %q, want %q", hdr.Schema, SchemaV1)
+	}
+	if hdr.Capacity != 2 || hdr.Dropped != 3 || hdr.Records != 2 || hdr.Incidents != 5 {
+		t.Fatalf("header = %+v, want capacity 2, dropped 3, records 2, incidents 5", hdr)
+	}
+}
+
+func TestDumpWindowAndKindFilters(t *testing.T) {
+	r := goldenJournal()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, DumpOptions{Kinds: []Kind{KindObfuscatorTick}, Window: 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + newest 2 obfuscator ticks
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, `"kind":"obfuscator-tick"`) {
+			t.Fatalf("kind filter leaked: %s", line)
+		}
+	}
+	if !strings.Contains(lines[2], `"code":"degraded:counter-rearm"`) {
+		t.Fatalf("window did not keep the newest records: %s", lines[2])
+	}
+}
+
+// TestDumpRecordsParseBack checks every line of a full dump is valid JSON
+// with registered kind/code names.
+func TestDumpRecordsParseBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenJournal().WriteJSONL(&buf, DumpOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i, line := range lines[1:] {
+		var rec struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+			Code string `json:"code"`
+			Sub  string `json:"sub"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i+2, err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("line %d seq %d, want %d", i+2, rec.Seq, i+1)
+		}
+		if _, ok := KindByName(rec.Kind); !ok {
+			t.Fatalf("line %d has unregistered kind %q", i+2, rec.Kind)
+		}
+		if _, ok := CodeByName(rec.Code); !ok {
+			t.Fatalf("line %d has unregistered code %q", i+2, rec.Code)
+		}
+		if rec.Sub != "" {
+			if _, ok := CodeByName(rec.Sub); !ok {
+				t.Fatalf("line %d has unregistered sub %q", i+2, rec.Sub)
+			}
+		}
+	}
+}

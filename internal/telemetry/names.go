@@ -40,6 +40,12 @@ const (
 	MetricFaultInjectedTotal = "fault_injected_total"
 )
 
+// Flight recorder (internal/telemetry/flight).
+const (
+	MetricFlightIncidentsTotal = "flight_incidents_total"
+	MetricFlightRecordsTotal   = "flight_records_total"
+)
+
 // Gadget-fuzzer campaign funnel.
 const (
 	MetricFuzzerCandidatesConfirmedTotal   = "fuzzer_candidates_confirmed_total"
@@ -66,25 +72,32 @@ const (
 
 // Online obfuscator tick funnel (single and multi-plan).
 const (
-	MetricObfuscatorBudgetSaturationsTotal      = "obfuscator_budget_saturations_total"
-	MetricObfuscatorClipSaturationsTotal        = "obfuscator_clip_saturations_total"
-	MetricObfuscatorCounterRearmsTotal          = "obfuscator_counter_rearms_total"
-	MetricObfuscatorDegradedTicksTotal          = "obfuscator_degraded_ticks_total"
-	MetricObfuscatorInjectedCountsTotal         = "obfuscator_injected_counts_total"
-	MetricObfuscatorInjectedRepsTotal           = "obfuscator_injected_reps_total"
-	MetricObfuscatorInjectedTicksTotal          = "obfuscator_injected_ticks_total"
-	MetricObfuscatorMechanismDrawNs             = "obfuscator_mechanism_draw_ns"
-	MetricObfuscatorMechanismFallbacksTotal     = "obfuscator_mechanism_fallbacks_total"
-	MetricObfuscatorMultiClipSaturationsTotal   = "obfuscator_multi_clip_saturations_total"
-	MetricObfuscatorMultiCounterRearmsTotal     = "obfuscator_multi_counter_rearms_total"
-	MetricObfuscatorMultiDegradedPlanTicksTotal = "obfuscator_multi_degraded_plan_ticks_total"
-	MetricObfuscatorMultiInjectedRepsTotal      = "obfuscator_multi_injected_reps_total"
-	MetricObfuscatorMultiRetriesTotal           = "obfuscator_multi_retries_total"
-	MetricObfuscatorMultiTicksTotal             = "obfuscator_multi_ticks_total"
-	MetricObfuscatorNoInjectionTicksTotal       = "obfuscator_no_injection_ticks_total"
-	MetricObfuscatorRetriesTotal                = "obfuscator_retries_total"
-	MetricObfuscatorTicksTotal                  = "obfuscator_ticks_total"
-	MetricObfuscatorZeroDrawTicksTotal          = "obfuscator_zero_draw_ticks_total"
+	MetricObfuscatorBudgetSaturationsTotal         = "obfuscator_budget_saturations_total"
+	MetricObfuscatorClipSaturationsTotal           = "obfuscator_clip_saturations_total"
+	MetricObfuscatorCounterRearmsTotal             = "obfuscator_counter_rearms_total"
+	MetricObfuscatorDegradedTicksTotal             = "obfuscator_degraded_ticks_total"
+	MetricObfuscatorInjectedCountsTotal            = "obfuscator_injected_counts_total"
+	MetricObfuscatorInjectedInstructionsTotal      = "obfuscator_injected_instructions_total"
+	MetricObfuscatorInjectedRepsTotal              = "obfuscator_injected_reps_total"
+	MetricObfuscatorInjectedTicksTotal             = "obfuscator_injected_ticks_total"
+	MetricObfuscatorMechanismDrawNs                = "obfuscator_mechanism_draw_ns"
+	MetricObfuscatorMechanismFallbacksTotal        = "obfuscator_mechanism_fallbacks_total"
+	MetricObfuscatorMultiClipSaturationsTotal      = "obfuscator_multi_clip_saturations_total"
+	MetricObfuscatorMultiCounterRearmsTotal        = "obfuscator_multi_counter_rearms_total"
+	MetricObfuscatorMultiDegradedPlanTicksTotal    = "obfuscator_multi_degraded_plan_ticks_total"
+	MetricObfuscatorMultiInjectedInstructionsTotal = "obfuscator_multi_injected_instructions_total"
+	MetricObfuscatorMultiInjectedRepsTotal         = "obfuscator_multi_injected_reps_total"
+	MetricObfuscatorMultiRetriesTotal              = "obfuscator_multi_retries_total"
+	MetricObfuscatorMultiTicksTotal                = "obfuscator_multi_ticks_total"
+	MetricObfuscatorNoInjectionTicksTotal          = "obfuscator_no_injection_ticks_total"
+	MetricObfuscatorRetriesTotal                   = "obfuscator_retries_total"
+	MetricObfuscatorTicksTotal                     = "obfuscator_ticks_total"
+	MetricObfuscatorZeroDrawTicksTotal             = "obfuscator_zero_draw_ticks_total"
+)
+
+// Ops server (internal/ops).
+const (
+	MetricOpsHTTPRequestsTotal = "ops_http_requests_total"
 )
 
 // Worker-pool instrumentation.
@@ -109,6 +122,7 @@ const (
 
 // SEV world scheduler.
 const (
+	MetricSevTickBudget       = "sev_tick_budget"
 	MetricSevVcpuStepsTotal   = "sev_vcpu_steps_total"
 	MetricSevVmsLaunchedTotal = "sev_vms_launched_total"
 	MetricSevWorldTicksTotal  = "sev_world_ticks_total"
