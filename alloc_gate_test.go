@@ -15,6 +15,7 @@ package aegis
 import (
 	"testing"
 
+	"github.com/repro/aegis/internal/benchkit"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/obfuscator"
@@ -199,24 +200,18 @@ func TestZeroAllocFlightRecord(t *testing.T) {
 // TestZeroAllocStatsScratch gates the arena-reusing numeric kernels at the
 // shapes the profiler's scoring loop uses.
 func TestZeroAllocStatsScratch(t *testing.T) {
-	rows := benchPCARows(72, 150)
-	classes := make([]stats.ClassModel, 6)
-	for i := range classes {
-		classes[i] = stats.ClassModel{
-			Secret: string(rune('a' + i)),
-			Dist:   stats.Gaussian{Mu: float64(i) * 2.5, Sigma: 1 + 0.2*float64(i)},
-		}
-	}
-	xs := make([]float64, 400)
-	ys := make([]float64, 400)
-	r := rng.New(12).Split("binned")
-	for i := range xs {
-		xs[i] = r.Gaussian(0, 1)
-		ys[i] = xs[i]*0.7 + r.Gaussian(0, 0.5)
-	}
+	rows := benchkit.PCARows(72, 150)
+	slab := benchkit.PCASlab(72, 150)
+	classes := benchkit.MIClasses(6)
+	xs, ys := benchkit.BinnedPairs(400)
 	var s stats.Scratch
 	requireZeroAllocs(t, "Scratch.FitPCA", 32, func() {
 		if _, err := s.FitPCA(rows, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Scratch.FitPCASlab", 32, func() {
+		if _, err := s.FitPCASlab(slab, 72, 150, 1); err != nil {
 			t.Fatal(err)
 		}
 	})

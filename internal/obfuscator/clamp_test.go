@@ -1,0 +1,73 @@
+package obfuscator
+
+import (
+	"math"
+	"testing"
+)
+
+// branchyClamp is the pre-blocked-kernels clip form clampDraw replaced,
+// kept verbatim as the equivalence reference.
+func branchyClamp(raw, bound float64) (noise float64, lo, hi bool) {
+	noise = raw
+	if noise < 0 {
+		noise = 0
+		lo = true
+	}
+	if noise > bound {
+		noise = bound
+		hi = true
+	}
+	return noise, lo, hi
+}
+
+// TestClampDrawEquivalence pins the branch-free clamp against the branchy
+// form it replaced over the full boundary matrix: interior values, the
+// support bounds themselves, one-ULP neighbours, extremes, infinities, NaN
+// and both signed zeros. The single intentional divergence is raw == -0.0:
+// the min/max builtins order -0 before +0, so the clamp normalises it to
+// +0.0 where the branchy form passed -0.0 through (`-0.0 < 0` is false).
+// The sign bit is unobservable downstream — the draw-to-repetitions
+// conversion and the d* Commit value are identical for ±0 — so the
+// divergence is accepted and pinned here rather than papered over.
+func TestClampDrawEquivalence(t *testing.T) {
+	const bound = 20000.0
+	negZero := math.Copysign(0, -1)
+	ulpBelow := math.Nextafter(bound, 0)
+	ulpAbove := math.Nextafter(bound, math.Inf(1))
+	cases := []float64{
+		math.Inf(-1), -1e300, -bound, -1, -math.SmallestNonzeroFloat64,
+		negZero, 0, math.SmallestNonzeroFloat64, 1, bound / 2,
+		ulpBelow, bound, ulpAbove, bound * 2, 1e300, math.Inf(1),
+		math.NaN(),
+	}
+	for _, raw := range cases {
+		got, gotLo, gotHi := clampDraw(raw, bound)
+		want, wantLo, wantHi := branchyClamp(raw, bound)
+		if raw == 0 && math.Signbit(raw) {
+			// The documented divergence: -0.0 normalises to +0.0.
+			want = 0
+		}
+		if math.IsNaN(want) {
+			// NaN payload bits are not preserved across min/max; class
+			// equality is the contract.
+			if !math.IsNaN(got) {
+				t.Errorf("clampDraw(NaN, %v) = %v, want NaN", bound, got)
+			}
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("clampDraw(%v, %v) = %v (bits %#x), want %v (bits %#x)",
+				raw, bound, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		if gotLo != wantLo || gotHi != wantHi {
+			t.Errorf("clampDraw(%v, %v) flags = (%v, %v), want (%v, %v)",
+				raw, bound, gotLo, gotHi, wantLo, wantHi)
+		}
+	}
+
+	// NaN propagates (min/max of a NaN operand is NaN) and raises no flag,
+	// matching the branchy form where both comparisons are false.
+	if got, lo, hi := clampDraw(math.NaN(), bound); !math.IsNaN(got) || lo || hi {
+		t.Errorf("clampDraw(NaN) = %v, %v, %v; want NaN, false, false", got, lo, hi)
+	}
+}

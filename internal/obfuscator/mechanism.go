@@ -88,6 +88,35 @@ func (c *NoiseCalculator) Lap(scale float64) float64 {
 	return v
 }
 
+// clampDraw clips a raw mechanism draw to the injection support [0, bound]
+// (paper §VIII-C: injected gadget counts cannot be negative and are capped
+// at B_u). The clamp is branch-free — the min/max builtins compile to
+// floating-point select sequences, so a clip storm costs the same as the
+// common in-range tick instead of training the branch predictor on the
+// mechanism's draw distribution. The clip flags are materialised from
+// comparisons (SETcc), not control flow.
+//
+// One intentional divergence from the branchy `if noise < 0` form it
+// replaces: a raw draw of exactly -0.0 (the Laplace inverse-CDF emits one
+// when the uniform variate lands on 0.5) normalises to +0.0 instead of
+// passing through. The sign bit is unobservable downstream — repetition
+// counts, the d* Commit value and the tick outcome are identical — and
+// TestClampDrawEquivalence pins the full boundary matrix including this
+// case.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocObfuscatorTick
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func clampDraw(raw, bound float64) (noise float64, clippedLow, clippedHigh bool) {
+	clippedLow = raw < 0
+	clippedHigh = raw > bound
+	noise = min(max(raw, 0), bound)
+	return noise, clippedLow, clippedHigh
+}
+
 // LaplaceMechanism adds Lap(Δ/ε) noise per tick (paper Theorem 1: ε-DP).
 type LaplaceMechanism struct {
 	Epsilon float64

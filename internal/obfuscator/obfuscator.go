@@ -605,14 +605,10 @@ func (o *Obfuscator) runTick(g *sev.GuestExecutor, t int64) TickInfo {
 		raw = v
 	}
 	info.RawDraw = raw
-	noise := raw
-	if noise < 0 {
-		noise = 0
-		info.ClippedLow = true
-	}
-	if noise > o.cfg.ClipBound {
-		noise = o.cfg.ClipBound
-		info.ClippedHigh = true
+	noise, cLo, cHi := clampDraw(raw, o.cfg.ClipBound)
+	info.ClippedLow = cLo
+	info.ClippedHigh = cHi
+	if cHi {
 		mClipSaturations.Inc()
 		o.consecClips++
 	} else {

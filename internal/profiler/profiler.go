@@ -370,6 +370,7 @@ func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEv
 	sc.slab = sc.slab[:total]
 	all := sc.all[:0]
 	off := 0
+	d, uniform := -1, true
 	for si := range raws {
 		for _, raw := range raws[si].traces {
 			series := sc.slab[off : off+len(raw) : off+len(raw)]
@@ -377,16 +378,31 @@ func (p *Profiler) scoreEvent(e *hpc.Event, raws []rawSet, timed bool) *RankedEv
 			for t, sig := range raw {
 				series[t] = e.Value(sig)
 			}
+			if d < 0 {
+				d = len(raw)
+			} else if len(raw) != d {
+				uniform = false
+			}
 			all = append(all, series)
 		}
 	}
 	sc.all = all
 	// Feature extraction over the full trace population: the paper's
-	// PCA first component, or the raw sum for the ablation.
+	// PCA first component, or the raw sum for the ablation. The trace
+	// matrix already lives in one contiguous row-major slab, so the fit
+	// goes through FitPCASlab and the blocked covariance kernel streams
+	// the block directly — `all` stays around as the per-trace row views
+	// the feature-extraction loop below projects. Campaign traces share
+	// one length (TraceTicks), so the slab is always a dense matrix;
+	// FitPCASlab is bit-identical to FitPCA over the same rows.
 	var pca *stats.PCA
 	if !p.cfg.RawMeanFeature {
 		var err error
-		pca, err = sc.st.FitPCA(all, 1)
+		if uniform && d > 0 {
+			pca, err = sc.st.FitPCASlab(sc.slab[:total], len(all), d, 1)
+		} else {
+			pca, err = sc.st.FitPCA(all, 1) // ragged traces: row-view path
+		}
 		if err != nil {
 			mRankDegenerate.Inc()
 			return nil // degenerate event; cannot be ranked

@@ -98,21 +98,47 @@ func (s *Scratch) MutualInformation(classes []ClassModel, steps int) (float64, e
 	dx := (hi - lo) / float64(steps)
 	s.post = grow(s.post, len(classes))
 	post := s.post
+	// Hoist the per-class Gaussian constants out of the quadrature loop:
+	// prior_i·PDF_i(x) = scaled_i · exp(-0.5·((x-mu_i)·invSig_i)²) with
+	// scaled_i = prior_i/(sigma_i·√2π). This replaces two divisions and a
+	// multiply per (step, class) with one multiply, and the posterior
+	// normalisation below multiplies by a hoisted 1/px instead of dividing
+	// per class. Both change floating-point rounding versus the unfused
+	// quadrature, so the kernel goldens were explicitly re-pinned — see
+	// TestKernelGoldenRepins for the old/new equivalence table.
+	s.mus = grow(s.mus, len(classes))
+	s.invSig = grow(s.invSig, len(classes))
+	s.scaled = grow(s.scaled, len(classes))
+	for i, c := range classes {
+		s.mus[i] = c.Dist.Mu
+		s.invSig[i] = 1 / c.Dist.Sigma
+		s.scaled[i] = priors[i] / (c.Dist.Sigma * math.Sqrt(2*math.Pi))
+	}
+	mus, invSig, scaled := s.mus, s.invSig, s.scaled
 	var condEntropy float64
 	for step := 0; step < steps; step++ {
 		x := lo + (float64(step)+0.5)*dx
 		var px float64
-		for i, c := range classes {
-			post[i] = c.Dist.PDF(x) * priors[i]
-			px += post[i]
+		for i := range post {
+			z := (x - mus[i]) * invSig[i]
+			q := scaled[i] * math.Exp(-0.5*z*z)
+			post[i] = q
+			px += q
 		}
 		if px <= 0 {
 			continue
 		}
-		for i := range post {
-			post[i] /= px
+		// Fused sweep: posterior normalisation and the conditional-entropy
+		// accumulation share one pass over the classes.
+		invPx := 1 / px
+		var h float64
+		for _, q := range post {
+			p := q * invPx
+			if p > 0 {
+				h -= p * math.Log2(p)
+			}
 		}
-		condEntropy += px * Entropy(post) * dx
+		condEntropy += px * h * dx
 	}
 
 	mi := hy - condEntropy
@@ -161,45 +187,106 @@ func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 	if yhi == ylo {
 		yhi = ylo + 1
 	}
-	s.jointRows = growRows(s.jointRows, bins)
 	s.jointSlab = grow(s.jointSlab, bins*bins)
-	joint := s.jointRows
+	joint := s.jointSlab[: bins*bins : bins*bins]
 	for i := range joint {
-		row := s.jointSlab[i*bins : (i+1)*bins : (i+1)*bins]
-		for j := range row {
-			row[j] = 0
-		}
-		joint[i] = row
+		joint[i] = 0
 	}
-	s.px = grow(s.px, bins)
 	s.py = grow(s.py, bins)
-	px, py := s.px, s.py
-	for i := range px {
-		px[i] = 0
+	py := s.py[:bins:bins]
+	for i := range py {
 		py[i] = 0
 	}
-	n := float64(len(xs))
+	// Binning pass: one multiply by the precomputed reciprocal bin width
+	// per axis instead of a divide per sample. The reciprocal form rounds
+	// differently from (v-lo)/(hi-lo)·bins, so a sample landing within one
+	// ULP of a bin boundary may shift one bin — the estimator goldens were
+	// explicitly re-pinned (see TestKernelGoldenRepins). Counts stay exact
+	// integers, so everything downstream of binning is order-insensitive.
+	invWx := float64(bins) / (xhi - xlo)
+	invWy := float64(bins) / (yhi - ylo)
+	last := bins - 1
 	for i := range xs {
-		bx := binIndex(xs[i], xlo, xhi, bins)
-		by := binIndex(ys[i], ylo, yhi, bins)
-		joint[bx][by]++
-		px[bx]++
+		bx := int((xs[i] - xlo) * invWx)
+		if bx < 0 {
+			bx = 0
+		} else if bx > last {
+			bx = last
+		}
+		by := int((ys[i] - ylo) * invWy)
+		if by < 0 {
+			by = 0
+		} else if by > last {
+			by = last
+		}
+		joint[bx*bins+by]++
 		py[by]++
 	}
-	var mi float64
+	// Fused sweep: the X-marginal histogram build and the MI accumulation
+	// share a single pass over each joint row — the row sum (an exact
+	// integer) is px[i], consumed immediately by the row's entropy term.
+	// The estimator is accumulated in count-entropy form,
+	//
+	//	I = (Σ c·log2 c − Σ px·log2 px − Σ py·log2 py)/n + log2 n,
+	//
+	// which is algebraically the Σ p·log2(p/(px·py)) sum but touches log2
+	// only for counts ≥ 2 (log2 1 = 0), and those counts are exact small
+	// integers served from a precomputed table. The summation order and
+	// rounding differ from the per-cell quotient form, so the estimator
+	// goldens were explicitly re-pinned (see TestKernelGoldenRepins).
+	var sc, sx float64
 	for i := 0; i < bins; i++ {
-		for j := 0; j < bins; j++ {
-			if joint[i][j] == 0 {
-				continue
+		row := joint[i*bins : (i+1)*bins : (i+1)*bins]
+		var rx float64
+		for _, c := range row {
+			rx += c
+			if c > 1 {
+				sc += c * log2Count(c)
 			}
-			pij := joint[i][j] / n
-			mi += pij * math.Log2(pij*n*n/(px[i]*py[j]))
+		}
+		if rx > 1 {
+			sx += rx * log2Count(rx)
 		}
 	}
+	var sy float64
+	for _, c := range py {
+		if c > 1 {
+			sy += c * log2Count(c)
+		}
+	}
+	n := float64(len(xs))
+	mi := (sc-sx-sy)/n + math.Log2(n)
 	if mi < 0 {
 		mi = 0
 	}
 	return mi, nil
+}
+
+// log2IntTab caches log2 of small integer counts; entries are produced by
+// the same math.Log2 call sites the kernels would otherwise hit, so table
+// hits are bit-identical to computing on demand.
+var log2IntTab = func() [1025]float64 {
+	var t [1025]float64
+	for i := 1; i < len(t); i++ {
+		t[i] = math.Log2(float64(i))
+	}
+	return t
+}()
+
+// log2Count returns log2 of a histogram count (an exact non-negative
+// integer stored in a float64), from the table when small.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func log2Count(c float64) float64 {
+	if ci := int(c); ci >= 0 && ci < len(log2IntTab) && float64(ci) == c {
+		return log2IntTab[ci]
+	}
+	return math.Log2(c)
 }
 
 // DiscreteMI computes the exact mutual information of a joint count table.

@@ -65,23 +65,85 @@ func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 		mean[j] /= float64(n)
 	}
 
-	s.centRows = growRows(s.centRows, n)
 	s.centSlab = grow(s.centSlab, n*d)
-	centered := s.centRows
 	for i, r := range rows {
 		c := s.centSlab[i*d : (i+1)*d : (i+1)*d]
 		for j, v := range r {
 			c[j] = v - mean[j]
 		}
-		centered[i] = c
+	}
+	return s.fitCentered(n, d, k)
+}
+
+// FitPCASlab is FitPCA over a contiguous row-major sample block: slab holds
+// n rows of d features back to back, exactly the layout the profiler's
+// trace collector produces. It avoids the per-row slice-header walk of the
+// [][]float64 form and produces bit-identical results to FitPCA over row
+// views of the same slab.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func (s *Scratch) FitPCASlab(slab []float64, n, d, k int) (*PCA, error) {
+	if n < 2 {
+		return nil, ErrInsufficientData
+	}
+	if d < 1 || len(slab) != n*d {
+		return nil, fmt.Errorf("stats: slab of %d values cannot hold %d×%d samples", len(slab), n, d) //aegis:allow(hotpath) cold validation branch; shapes are fixed in steady state
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d) //aegis:allow(hotpath) cold validation branch; shapes are fixed in steady state
 	}
 
+	// Mean and centering sweep the slab row by row, in the same element
+	// order as the row-view path, so the centered matrix is bit-identical.
+	s.mean = grow(s.mean, d)
+	mean := s.mean
+	for j := range mean {
+		mean[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		r := slab[i*d : (i+1)*d : (i+1)*d]
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	s.centSlab = grow(s.centSlab, n*d)
+	for i := 0; i < n; i++ {
+		r := slab[i*d : (i+1)*d : (i+1)*d]
+		c := s.centSlab[i*d : (i+1)*d : (i+1)*d]
+		for j, v := range r {
+			c[j] = v - mean[j]
+		}
+	}
+	return s.fitCentered(n, d, k)
+}
+
+// fitCentered runs the power iteration over the centered slab prepared by
+// FitPCA/FitPCASlab. Split out so both entry points share the blocked
+// covariance kernel.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func (s *Scratch) fitCentered(n, d, k int) (*PCA, error) {
+	centered := s.centSlab[: n*d : n*d]
 	s.compRows = growRows(s.compRows, k)
 	s.compSlab = grow(s.compSlab, k*d)
 	s.vars = grow(s.vars, k)
 	s.w = grow(s.w, d)
 	s.pca = PCA{
-		Mean:       mean,
+		Mean:       s.mean,
 		Components: s.compRows[:0],
 		Variances:  s.vars[:0],
 	}
@@ -103,7 +165,7 @@ func (s *Scratch) FitPCA(rows [][]float64, k int) (*PCA, error) {
 		var lambda float64
 		for iter := 0; iter < 200; iter++ {
 			w := s.w
-			covApplyInto(w, centered, v)
+			covApplySlab(w, centered, n, d, v)
 			orthonormalize(w, p.Components)
 			norm := vecNorm(w)
 			if norm < 1e-14 {
@@ -161,24 +223,63 @@ func (p *PCA) FirstComponent(row []float64) (float64, error) {
 	return dot, nil
 }
 
-// covApplyInto writes cov·v into out (zeroing it first), the in-place form
-// of the power-iteration step.
-func covApplyInto(out []float64, centered [][]float64, v []float64) {
+// covBlock is the register-blocking factor of covApplySlab: rows are
+// processed in slabs of covBlock, giving covBlock independent dot-product
+// accumulation chains (the serial FP-add latency otherwise bounds the
+// loop) and one fused pass over `out` per block instead of one per row.
+const covBlock = 4
+
+// covApplySlab writes cov·v into out (zeroing it first) — the power-
+// iteration step over the centered n×d row-major slab. Rows are carved in
+// blocks of covBlock directly out of the slab: the block's dot products
+// run as independent accumulator chains over one shared load of v, and the
+// out update applies all covBlock contributions left-to-right, which is
+// the exact floating-point operation order of the row-at-a-time form —
+// the blocked kernel is bit-identical, so the PR-4 Float64bits pins hold
+// (asserted by TestBlockedCovApplyBitIdentical).
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func covApplySlab(out []float64, slab []float64, n, d int, v []float64) {
 	for j := range out {
 		out[j] = 0
 	}
-	for _, x := range centered {
-		var dot float64
-		for j := range v {
-			dot += x[j] * v[j]
+	i := 0
+	for ; i+covBlock <= n; i += covBlock {
+		r0 := slab[(i+0)*d : (i+1)*d : (i+1)*d]
+		r1 := slab[(i+1)*d : (i+2)*d : (i+2)*d]
+		r2 := slab[(i+2)*d : (i+3)*d : (i+3)*d]
+		r3 := slab[(i+3)*d : (i+4)*d : (i+4)*d]
+		var d0, d1, d2, d3 float64
+		for j, vj := range v {
+			d0 += r0[j] * vj
+			d1 += r1[j] * vj
+			d2 += r2[j] * vj
+			d3 += r3[j] * vj
 		}
-		for j := range x {
+		// Left-to-right accumulation replays the row-sequential add order:
+		// ((((out + d0·r0) + d1·r1) + d2·r2) + d3·r3).
+		for j := range out {
+			out[j] = out[j] + d0*r0[j] + d1*r1[j] + d2*r2[j] + d3*r3[j]
+		}
+	}
+	for ; i < n; i++ {
+		x := slab[i*d : (i+1)*d : (i+1)*d]
+		var dot float64
+		for j, vj := range v {
+			dot += x[j] * vj
+		}
+		for j := range out {
 			out[j] += dot * x[j]
 		}
 	}
-	n := float64(len(centered))
+	nf := float64(n)
 	for j := range out {
-		out[j] /= n
+		out[j] /= nf
 	}
 }
 

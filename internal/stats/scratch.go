@@ -28,9 +28,10 @@ func sortFloat64s(xs []float64) { slices.Sort(xs) }
 // package-level counterpart in the same order, so scratch-backed results
 // are bit-identical to the allocating paths.
 type Scratch struct {
-	// FitPCA
+	// FitPCA / FitPCASlab: the centered sample block lives in one
+	// row-major slab so the blocked covariance kernel streams it with
+	// register-blocked inner loops (see covApplySlab).
 	mean     []float64
-	centRows [][]float64
 	centSlab []float64
 	compRows [][]float64
 	compSlab []float64
@@ -38,14 +39,18 @@ type Scratch struct {
 	w        []float64
 	pca      PCA
 
-	// MutualInformation
+	// MutualInformation: posterior grid plus the hoisted per-class
+	// Gaussian constants (mean, 1/sigma, prior-scaled normalisation).
 	priors []float64
 	post   []float64
+	mus    []float64
+	invSig []float64
+	scaled []float64
 
-	// BinnedMI
-	jointRows [][]float64
+	// BinnedMI: the joint histogram slab and the Y marginal; the X
+	// marginal is derived row by row inside the fused MI sweep.
 	jointSlab []float64
-	px, py    []float64
+	py        []float64
 
 	// sortBuf backs copy-and-sort helpers (MedianOf / PercentileOf).
 	sortBuf []float64

@@ -11,6 +11,7 @@ package aegis
 import (
 	"testing"
 
+	"github.com/repro/aegis/internal/benchkit"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
 	"github.com/repro/aegis/internal/microarch"
@@ -142,28 +143,14 @@ func BenchmarkObfuscatorTick(b *testing.B) {
 	}
 }
 
-// benchPCARows builds a deterministic n x d sample matrix with a dominant
-// direction, shaped like the profiler's per-event trace population.
-func benchPCARows(n, d int) [][]float64 {
-	r := rng.New(21).Split("pca-bench")
-	rows := make([][]float64, n)
-	for i := range rows {
-		row := make([]float64, d)
-		base := r.Gaussian(0, 3)
-		for j := range row {
-			row[j] = base*float64(j%7) + r.Gaussian(0, 1)
-		}
-		rows[i] = row
-	}
-	return rows
-}
-
 // BenchmarkFitPCA measures one PCA fit over a trace population of the
 // profiler's ranking shape (secrets*repeats traces x TraceTicks features):
-// the one-shot public path, and the arena-reusing path the profiler's
-// scoring loop runs on.
+// the one-shot public path, the arena-reusing row-view path, and the
+// contiguous-slab path the profiler's scoring loop feeds the blocked
+// covariance kernel through. Fixtures come from internal/benchkit so the
+// aegis-bench per-kernel harness measures exactly the same work.
 func BenchmarkFitPCA(b *testing.B) {
-	rows := benchPCARows(72, 150)
+	rows := benchkit.PCARows(72, 150)
 	b.Run("alloc", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -182,19 +169,49 @@ func BenchmarkFitPCA(b *testing.B) {
 			}
 		}
 	})
+	b.Run("slab", func(b *testing.B) {
+		slab := benchkit.PCASlab(72, 150)
+		var s stats.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.FitPCASlab(slab, 72, 150, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBinnedMI measures one 2-D histogram MI estimate at the Fig. 9c
+// shape (400 paired samples, 16 bins), in both the one-shot and
+// arena-reusing forms.
+func BenchmarkBinnedMI(b *testing.B) {
+	xs, ys := benchkit.BinnedPairs(400)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.BinnedMI(xs, ys, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var s stats.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.BinnedMI(xs, ys, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMutualInformation measures one MI quadrature over six secret
 // classes at the profiler's default grid resolution, in both the one-shot
 // and arena-reusing forms.
 func BenchmarkMutualInformation(b *testing.B) {
-	classes := make([]stats.ClassModel, 6)
-	for i := range classes {
-		classes[i] = stats.ClassModel{
-			Secret: string(rune('a' + i)),
-			Dist:   stats.Gaussian{Mu: float64(i) * 2.5, Sigma: 1 + 0.2*float64(i)},
-		}
-	}
+	classes := benchkit.MIClasses(6)
 	b.Run("alloc", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
