@@ -19,7 +19,7 @@ FUZZTIME ?= 5s
 # operator reaches for mid-incident, so their test coverage is gated.
 COVER_FLOOR ?= 85
 
-.PHONY: build test vet lint race fmt-check check fuzz bench bench-alloc bench-json bench-check cover
+.PHONY: build test vet lint race fmt-check check fuzz bench bench-alloc bench-json bench-check cover e2e
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
@@ -30,6 +30,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Daemon end-to-end suite, run by name for a focused signal: deterministic
+# journal replay across parallelism levels, 100+-tenant scale, the
+# fault-injected soak, and the aegisd/aegisctl HTTP smoke tests. All of it
+# also runs inside `make test` / `make race`.
+e2e:
+	$(GO) test -count=1 -v -run 'TestScenario|TestSheds|TestFaultSoak|TestDaemonConcurrentLifecycle' ./internal/daemon/...
+	$(GO) test -count=1 -run 'TestDaemonSmoke|TestCtlClientSmoke' ./cmd/aegisd/ ./cmd/aegisctl/
 
 vet:
 	$(GO) vet ./...

@@ -345,6 +345,13 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	}, nil
 }
 
+// Segment returns the stacked injectable code segment — the shared
+// protection plan handed to daemon.Config for multi-tenant deployments.
+func (gs *GadgetSet) Segment() []isa.Variant { return gs.segment }
+
+// RefEvent returns the reference HPC event the plan was fuzzed against.
+func (gs *GadgetSet) RefEvent() *hpc.Event { return gs.refEvent }
+
 // DefenseFactory builds fresh obfuscator instances (one per deployment).
 type DefenseFactory func(seed uint64) (*obfuscator.Obfuscator, error)
 

@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"github.com/repro/aegis/internal/benchkit"
+	"github.com/repro/aegis/internal/daemon"
+	"github.com/repro/aegis/internal/daemon/daemontest"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/obfuscator"
@@ -172,6 +174,29 @@ func TestZeroAllocObfuscatorTick(t *testing.T) {
 	}
 	if rec.Total() == before {
 		t.Error("no obfuscator-tick records journaled: the gate must cover the recording path")
+	}
+}
+
+// TestZeroAllocDaemonTick gates the daemon's steady-state tick — the
+// per-tenant fan-out plus the serialized journal barrier — with one
+// protecting tenant and an empty queue, the configuration a healthy
+// multi-tenant deployment spends its life in. The daemon journal is its
+// own always-enabled recorder, so the gate covers the recording path.
+func TestZeroAllocDaemonTick(t *testing.T) {
+	quietTelemetry(t)
+	loudFlight(t)
+	d, err := daemon.New(daemontest.BaseConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(daemon.AttachSpec{Name: "gate"}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(8) // promote to Protecting, settle the guest caches
+	before := d.Journal().Total()
+	requireZeroAllocs(t, "daemon.Step", 256, func() { d.Step() })
+	if d.Journal().Total() == before {
+		t.Error("no tick summaries journaled: the gate must cover the recording path")
 	}
 }
 

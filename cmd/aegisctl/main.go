@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,12 +73,16 @@ func run(args []string) error {
 		tailFrom   = fs.String("tail", "", "client mode: stream /flight JSONL from a running ops server (URL or host:port) and exit; ignores pipeline flags")
 		follow     = fs.Bool("follow", false, "with -tail: poll for new records instead of exiting after one dump")
 		tailWindow = fs.Int("window", 0, "with -tail: only the newest N records")
+		ctlFrom    = fs.String("ctl", "", "client mode: drive a running aegisd's control API (URL or host:port); the command follows the flags: status | list | tenant <name> | attach <name> [app [secrets]] | detach <name> | kill <name> | submit <name> <jobs> | reload <json|@file>")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tailFrom != "" {
 		return runTail(*tailFrom, *follow, *tailWindow, os.Stdout)
+	}
+	if *ctlFrom != "" {
+		return runCtl(*ctlFrom, fs.Args(), os.Stdout)
 	}
 	switch *telemFmt {
 	case "summary", "json", "prom", "none":
@@ -275,6 +280,124 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runCtl is the -ctl client: it maps a short command onto one
+// aegisd-ctl/v1 request against a running daemon and pretty-prints the
+// JSON envelope. Non-2xx responses (shed submits, rejected reloads, bad
+// tenants) become errors carrying the daemon's detail.
+func runCtl(target string, args []string, out io.Writer) error {
+	base, err := ctlURL(target)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		args = []string{"status"}
+	}
+	cmd, rest := args[0], args[1:]
+	var (
+		method = "GET"
+		path   string
+		body   string
+	)
+	switch cmd {
+	case "status":
+		path = "daemon"
+	case "list":
+		path = "tenants"
+	case "tenant":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: -ctl ... tenant <name>")
+		}
+		path = "tenant?name=" + url.QueryEscape(rest[0])
+	case "attach":
+		if len(rest) < 1 || len(rest) > 3 {
+			return fmt.Errorf("usage: -ctl ... attach <name> [app [secrets]]")
+		}
+		spec := map[string]any{"name": rest[0]}
+		if len(rest) > 1 {
+			spec["app"] = rest[1]
+		}
+		if len(rest) > 2 {
+			n, err := strconv.Atoi(rest[2])
+			if err != nil {
+				return fmt.Errorf("bad secrets count %q: %w", rest[2], err)
+			}
+			spec["secrets"] = n
+		}
+		raw, _ := json.Marshal(spec)
+		method, path, body = "POST", "attach", string(raw)
+	case "detach", "kill":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: -ctl ... %s <name>", cmd)
+		}
+		raw, _ := json.Marshal(map[string]any{"name": rest[0], "kill": cmd == "kill"})
+		method, path, body = "POST", "detach", string(raw)
+	case "submit":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: -ctl ... submit <name> <jobs>")
+		}
+		jobs, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad job count %q: %w", rest[1], err)
+		}
+		raw, _ := json.Marshal(map[string]any{"name": rest[0], "jobs": jobs})
+		method, path, body = "POST", "submit", string(raw)
+	case "reload":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: -ctl ... reload '<json>' (or @file)")
+		}
+		delta := rest[0]
+		if strings.HasPrefix(delta, "@") {
+			raw, err := os.ReadFile(delta[1:])
+			if err != nil {
+				return err
+			}
+			delta = string(raw)
+		}
+		method, path, body = "POST", "reload", delta
+	default:
+		return fmt.Errorf("unknown ctl command %q (want status, list, tenant, attach, detach, kill, submit or reload)", cmd)
+	}
+
+	req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if method == "POST" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	_, err = out.Write(raw)
+	return err
+}
+
+// ctlURL normalises a -ctl target into the control-API base URL ending
+// in /ctl/v1/.
+func ctlURL(target string) (string, error) {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return "", fmt.Errorf("bad -ctl target: %w", err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/ctl/v1/"
+	}
+	u.RawQuery = ""
+	return u.String(), nil
 }
 
 // runTail is the -tail client: it fetches /flight from a running ops

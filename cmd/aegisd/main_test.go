@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/repro/aegis/internal/daemon"
+	"github.com/repro/aegis/internal/daemon/daemontest"
+)
+
+// TestDaemonSmoke boots a real aegisd — fuzzed plan, ticker-driven loop,
+// ops server on a loopback port — and drives it over HTTP: readiness,
+// tenant attach, work submission and the control-API status, then waits
+// for the -ticks bound to stop it cleanly.
+func TestDaemonSmoke(t *testing.T) {
+	addrCh := make(chan string, 1)
+	opsAddrNotify = func(addr string) { addrCh <- addr }
+	defer func() { opsAddrNotify = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-events", "RETIRED_UOPS",
+			"-candidates", "60",
+			"-tenants", "2",
+			"-ticks", "400",
+			"-tick-interval", "2ms",
+			"-queue-cap", "4",
+			"-seed", "3",
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not come up in 60s")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(out)
+	}
+
+	if code, body := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d: %s", code, body)
+	}
+	if code, body := get("/ctl/v1/tenants"); code != 200 || !strings.Contains(body, `"t000"`) {
+		t.Fatalf("pre-attached tenants missing: %d %s", code, body)
+	}
+	if code, body := post("/ctl/v1/attach", `{"name":"smoke","app":"keystroke","secrets":3}`); code != 200 {
+		t.Fatalf("attach = %d: %s", code, body)
+	}
+	if code, body := post("/ctl/v1/submit", `{"name":"smoke","jobs":2}`); code != 200 {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	if code, body := post("/ctl/v1/reload", `{"epsilon": 2.0}`); code != 200 {
+		t.Fatalf("reload = %d: %s", code, body)
+	}
+	if code, body := post("/ctl/v1/reload", `{"epsilon": -2.0}`); code != 400 {
+		t.Fatalf("invalid reload = %d, want 400: %s", code, body)
+	}
+	code, body := get("/ctl/v1/daemon")
+	if code != 200 {
+		t.Fatalf("/ctl/v1/daemon = %d: %s", code, body)
+	}
+	var resp struct {
+		Schema string `json:"schema"`
+		Daemon struct {
+			Tenants       int `json:"tenants"`
+			ReloadRejects int `json:"reload_rejects_total"`
+		} `json:"daemon"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("daemon status not JSON: %v\n%s", err, body)
+	}
+	if resp.Schema != "aegisd-ctl/v1" || resp.Daemon.Tenants != 3 || resp.Daemon.ReloadRejects != 1 {
+		t.Fatalf("daemon status: %s", body)
+	}
+	if code, body := get("/flight?kind=daemon"); code != 200 || !strings.Contains(body, "tenant:attach") {
+		t.Fatalf("/flight = %d: %s", code, body)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not stop at the -ticks bound")
+	}
+}
+
+// TestReloadFromFile covers the SIGHUP config path without signals: a
+// good file stages, a bad one is rejected whole.
+func TestReloadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(good, []byte(`{"mechanism":"dstar","epsilon":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"mechanismm":"dstar"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(daemontest.BaseConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reloadFromFile(d, good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if !d.Status().PendingReload {
+		t.Fatal("good config not staged")
+	}
+	if err := reloadFromFile(d, bad); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := reloadFromFile(d, ""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

@@ -107,6 +107,7 @@ func RuleByName(name string) *Rule {
 // pure functions of (seed, config): the replay contracts in DESIGN.md hang
 // off these. detrand and maprange apply only here.
 var deterministicLeaves = []string{
+	"daemon",
 	"faultinject",
 	"fuzzer",
 	"hpc",

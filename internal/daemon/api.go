@@ -1,0 +1,198 @@
+// Code in this file is the aegisd control API ("aegisd-ctl/v1"): a small
+// JSON surface mounted on the internal/ops server under /ctl/v1/, giving
+// operators (and aegisctl's client mode) tenant lifecycle, work
+// submission, status and live reload. Handlers serialize against the
+// tick loop on the daemon mutex, so control operations land at tick
+// boundaries — which is also what keeps scripted scenarios
+// deterministic.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/repro/aegis/internal/telemetry"
+)
+
+// CtlSchema versions every control-API response body.
+const CtlSchema = "aegisd-ctl/v1"
+
+// CtlPrefix is the path prefix the control API is mounted under.
+const CtlPrefix = "/ctl/v1/"
+
+// CtlResponse is the uniform JSON envelope of the control API. Exactly
+// the fields relevant to the request are populated; Error is set (with a
+// non-2xx status) when the request failed.
+type CtlResponse struct {
+	Schema   string         `json:"schema"`
+	Error    string         `json:"error,omitempty"`
+	Daemon   *Status        `json:"daemon,omitempty"`
+	Tenant   *TenantStatus  `json:"tenant,omitempty"`
+	Tenants  []TenantStatus `json:"tenants,omitempty"`
+	Accepted int            `json:"accepted,omitempty"`
+	Shed     int            `json:"shed,omitempty"`
+}
+
+// countCtl counts one control-API request by operation; the label set is
+// bounded by the fixed route table in CtlHandler.
+func countCtl(op string) {
+	telemetry.C("daemon_ctl_requests_total", telemetry.L("op", op)).Inc()
+}
+
+// writeCtl writes the envelope with the given HTTP status.
+func writeCtl(w http.ResponseWriter, status int, body CtlResponse) {
+	body.Schema = CtlSchema
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// ctlError maps a daemon error onto its HTTP status.
+func ctlError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoTenant):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrTenantExists), errors.Is(err, ErrNotAccepting):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadTunables), errors.Is(err, ErrBadAttach):
+		status = http.StatusBadRequest
+	}
+	writeCtl(w, status, CtlResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body (unknown fields are
+// errors, so a typoed tunable cannot silently no-op).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("daemon: bad request body: %w", err)
+	}
+	return nil
+}
+
+// CtlHandler returns the control-API handler, rooted at CtlPrefix. Mount
+// it on the ops server:
+//
+//	srv.Mount(daemon.CtlPrefix, "ctl", d.CtlHandler())
+func (d *Daemon) CtlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+CtlPrefix+"daemon", d.handleDaemonStatus)
+	mux.HandleFunc("GET "+CtlPrefix+"tenants", d.handleTenants)
+	mux.HandleFunc("GET "+CtlPrefix+"tenant", d.handleTenant)
+	mux.HandleFunc("POST "+CtlPrefix+"attach", d.handleAttach)
+	mux.HandleFunc("POST "+CtlPrefix+"detach", d.handleDetach)
+	mux.HandleFunc("POST "+CtlPrefix+"submit", d.handleSubmit)
+	mux.HandleFunc("POST "+CtlPrefix+"reload", d.handleReload)
+	return mux
+}
+
+func (d *Daemon) handleDaemonStatus(w http.ResponseWriter, _ *http.Request) {
+	countCtl("daemon")
+	st := d.Status()
+	writeCtl(w, http.StatusOK, CtlResponse{Daemon: &st})
+}
+
+func (d *Daemon) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	countCtl("tenants")
+	writeCtl(w, http.StatusOK, CtlResponse{Tenants: d.Statuses()})
+}
+
+func (d *Daemon) handleTenant(w http.ResponseWriter, r *http.Request) {
+	countCtl("tenant")
+	name := r.URL.Query().Get("name")
+	st, err := d.TenantStatus(name)
+	if err != nil {
+		ctlError(w, err)
+		return
+	}
+	writeCtl(w, http.StatusOK, CtlResponse{Tenant: &st})
+}
+
+func (d *Daemon) handleAttach(w http.ResponseWriter, r *http.Request) {
+	countCtl("attach")
+	var spec AttachSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeCtl(w, http.StatusBadRequest, CtlResponse{Error: err.Error()})
+		return
+	}
+	if err := d.Attach(spec); err != nil {
+		ctlError(w, err)
+		return
+	}
+	st, err := d.TenantStatus(spec.Name)
+	if err != nil {
+		ctlError(w, err)
+		return
+	}
+	writeCtl(w, http.StatusOK, CtlResponse{Tenant: &st})
+}
+
+// detachRequest is the body of POST /ctl/v1/detach.
+type detachRequest struct {
+	Name string `json:"name"`
+	// Kill skips the graceful drain and sheds whatever is queued.
+	Kill bool `json:"kill,omitempty"`
+}
+
+func (d *Daemon) handleDetach(w http.ResponseWriter, r *http.Request) {
+	countCtl("detach")
+	var req detachRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeCtl(w, http.StatusBadRequest, CtlResponse{Error: err.Error()})
+		return
+	}
+	if err := d.Detach(req.Name, req.Kill); err != nil {
+		ctlError(w, err)
+		return
+	}
+	st := d.Status()
+	writeCtl(w, http.StatusOK, CtlResponse{Daemon: &st})
+}
+
+// submitRequest is the body of POST /ctl/v1/submit.
+type submitRequest struct {
+	Name string `json:"name"`
+	Jobs int    `json:"jobs"`
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	countCtl("submit")
+	var req submitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeCtl(w, http.StatusBadRequest, CtlResponse{Error: err.Error()})
+		return
+	}
+	accepted, err := d.Submit(req.Name, req.Jobs)
+	if err != nil {
+		ctlError(w, err)
+		return
+	}
+	shed := req.Jobs - accepted
+	status := http.StatusOK
+	if accepted == 0 && req.Jobs > 0 {
+		// Everything shed: backpressure surfaces to the client too.
+		status = http.StatusTooManyRequests
+	}
+	writeCtl(w, status, CtlResponse{Accepted: accepted, Shed: shed})
+}
+
+func (d *Daemon) handleReload(w http.ResponseWriter, r *http.Request) {
+	countCtl("reload")
+	var tun Tunables
+	if err := decodeBody(r, &tun); err != nil {
+		writeCtl(w, http.StatusBadRequest, CtlResponse{Error: err.Error()})
+		return
+	}
+	if err := d.Reload(tun); err != nil {
+		ctlError(w, err)
+		return
+	}
+	st := d.Status()
+	writeCtl(w, http.StatusOK, CtlResponse{Daemon: &st})
+}

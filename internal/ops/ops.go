@@ -51,9 +51,17 @@ type Server struct {
 	mu     sync.Mutex
 	health []Probe
 	ready  []Probe
+	mounts []mountEntry
 
 	ln   net.Listener
 	http *http.Server
+}
+
+// mountEntry is an extra handler subtree registered with Mount.
+type mountEntry struct {
+	pattern  string
+	endpoint string
+	handler  http.Handler
 }
 
 // NewServer builds a server. A configured Budget's probe is
@@ -92,6 +100,15 @@ func (s *Server) RegisterReadiness(p Probe) {
 	s.mu.Unlock()
 }
 
+// Mount registers an additional handler subtree on the ops mux (e.g. the
+// aegisd control API under "/ctl/v1/"). Served requests are counted under
+// the given endpoint label. Must be called before Handler or Start.
+func (s *Server) Mount(pattern, endpoint string, h http.Handler) {
+	s.mu.Lock()
+	s.mounts = append(s.mounts, mountEntry{pattern: pattern, endpoint: endpoint, handler: h})
+	s.mu.Unlock()
+}
+
 // mOpsRequests counts served requests per endpoint; the label set is
 // bounded by the fixed route table below.
 func countRequest(endpoint string) {
@@ -120,6 +137,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	mounts := append([]mountEntry(nil), s.mounts...)
+	s.mu.Unlock()
+	for _, m := range mounts {
+		m := m
+		mux.HandleFunc(m.pattern, func(w http.ResponseWriter, r *http.Request) {
+			countRequest(m.endpoint)
+			m.handler.ServeHTTP(w, r)
+		})
+	}
 	return mux
 }
 
@@ -134,9 +161,10 @@ func (s *Server) Start() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("ops: listen %s: %w", s.cfg.Addr, err)
 	}
+	h := s.Handler() // before taking mu: Handler copies the mounts under it
 	s.mu.Lock()
 	s.ln = ln
-	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.http = &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	srv := s.http
 	s.mu.Unlock()
 	go func() { _ = srv.Serve(ln) }()

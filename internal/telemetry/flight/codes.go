@@ -64,6 +64,21 @@ const (
 	CodeStageFuzzerCover
 	CodeStageFuzzerCampaign
 
+	// KindDaemon codes: tenant lifecycle transitions (a = tenant id),
+	// per-tenant shed/degradation incidents (b = event count, sub = the
+	// degradation reason where one applies), config reload outcomes and
+	// the per-tick daemon summary (a = live tenants, b = items
+	// processed, c = items shed that tick).
+	CodeTenantAttach
+	CodeTenantDrain
+	CodeTenantDetach
+	CodeTenantReplan
+	CodeTenantShed
+	CodeTenantDegraded
+	CodeDaemonReload
+	CodeDaemonReloadReject
+	CodeDaemonSummary
+
 	numCodes
 )
 
@@ -106,6 +121,16 @@ var codeNames = [numCodes]string{
 	CodeStageFuzzerEvent:    "stage:fuzzer-event",
 	CodeStageFuzzerCover:    "stage:fuzzer-cover",
 	CodeStageFuzzerCampaign: "stage:fuzzer-campaign",
+
+	CodeTenantAttach:       "tenant:attach",
+	CodeTenantDrain:        "tenant:drain",
+	CodeTenantDetach:       "tenant:detach",
+	CodeTenantReplan:       "tenant:replan",
+	CodeTenantShed:         "tenant:shed",
+	CodeTenantDegraded:     "tenant:degraded",
+	CodeDaemonReload:       "daemon:reload",
+	CodeDaemonReloadReject: "daemon:reload-reject",
+	CodeDaemonSummary:      "daemon:summary",
 }
 
 // String returns the stable wire name of the code.

@@ -57,8 +57,14 @@ const (
 	// KindStage is an offline pipeline stage completion
 	// (code = stage, a/b = stage-specific sizes).
 	KindStage
+	// KindDaemon is a multi-tenant daemon lifecycle or per-tick summary
+	// event (code = daemon event, a = tenant id or live-tenant count,
+	// b/c = event-specific counts). Written only from serialized daemon
+	// paths, so the daemon journal is byte-identical across replays of
+	// the same seed at any parallelism.
+	KindDaemon
 
-	numKinds = 5
+	numKinds = 6
 )
 
 // String returns the stable wire name of the kind.
@@ -74,6 +80,8 @@ func (k Kind) String() string {
 		return "world-step"
 	case KindStage:
 		return "stage"
+	case KindDaemon:
+		return "daemon"
 	default:
 		return "unknown"
 	}

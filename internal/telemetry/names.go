@@ -35,6 +35,24 @@ const (
 	MetricAegisProtectMultiSkippedEventsTotal = "aegis_protect_multi_skipped_events_total"
 )
 
+// Multi-tenant protection daemon (internal/daemon, cmd/aegisd).
+const (
+	MetricDaemonAttachesTotal        = "daemon_attaches_total"
+	MetricDaemonCtlRequestsTotal     = "daemon_ctl_requests_total"
+	MetricDaemonDegradedTenantTicks  = "daemon_degraded_tenant_ticks_total"
+	MetricDaemonDetachesTotal        = "daemon_detaches_total"
+	MetricDaemonEventsEnqueuedTotal  = "daemon_events_enqueued_total"
+	MetricDaemonEventsProcessedTotal = "daemon_events_processed_total"
+	MetricDaemonEventsShedTotal      = "daemon_events_shed_total"
+	MetricDaemonOverloaded           = "daemon_overloaded"
+	MetricDaemonQueueDepth           = "daemon_queue_depth"
+	MetricDaemonReloadRejectsTotal   = "daemon_reload_rejects_total"
+	MetricDaemonReloadsTotal         = "daemon_reloads_total"
+	MetricDaemonTenantTicksTotal     = "daemon_tenant_ticks_total"
+	MetricDaemonTenants              = "daemon_tenants"
+	MetricDaemonTicksTotal           = "daemon_ticks_total"
+)
+
 // Fault-injection substrate.
 const (
 	MetricFaultInjectedTotal = "fault_injected_total"
