@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/repro/aegis/internal/artifact"
 	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/fuzzer"
 	"github.com/repro/aegis/internal/hpc"
@@ -99,6 +100,12 @@ type Config struct {
 	// (profiling and fuzzing); <= 0 means GOMAXPROCS. Results are
 	// byte-identical at any value — only wall-clock time changes.
 	Parallelism int
+	// ArtifactDir, when non-empty, backs the offline pipelines with a
+	// versioned artifact store rooted at this directory: profiling and
+	// fuzzing checkpoint their shards there and resume matching ones on
+	// restart. Resume never changes results — a warm run is byte-identical
+	// to a cold one, only faster.
+	ArtifactDir string
 	// Faults injects deterministic substrate faults (PMU read errors,
 	// counter saturation, preemption bursts, mid-gadget interrupts, draw
 	// extremes) into the fuzzer, the SEV world and the deployed
@@ -117,6 +124,7 @@ type Framework struct {
 	catalog *hpc.Catalog
 	legal   []isa.Variant
 	faults  *faultinject.Injector
+	store   *artifact.Store
 
 	// Ops surface (nil server when Config.Ops.Addr is empty). warmGate
 	// holds /readyz at 503 until the first Protect/ProtectMulti deploy.
@@ -168,6 +176,13 @@ func New(cfg Config) (*Framework, error) {
 		legal:    clean.Legal,
 		faults:   faultinject.New(cfg.Faults),
 		warmGate: ops.NewGate("plan-warmup"),
+	}
+	if cfg.ArtifactDir != "" {
+		store, err := artifact.Open(cfg.ArtifactDir)
+		if err != nil {
+			return nil, fmt.Errorf("open artifact store: %w", err)
+		}
+		f.store = store
 	}
 	if cfg.Ops.Addr != "" {
 		opsCfg := cfg.Ops
@@ -254,6 +269,7 @@ func (f *Framework) Profile(app workload.App) (*Profile, error) {
 	pcfg.TraceTicks = f.cfg.ProfileTraceTicks
 	pcfg.RankRepeats = f.cfg.ProfileRepeats
 	pcfg.Parallelism = f.cfg.Parallelism
+	pcfg.Store = f.store
 	p := profiler.New(f.catalog, pcfg)
 	res, err := p.Profile(app)
 	if err != nil {
@@ -266,6 +282,31 @@ func (f *Framework) Profile(app workload.App) (*Profile, error) {
 		WarmupRemaining: len(res.Warmup.Remaining),
 		Ranked:          res.Ranked,
 	}, nil
+}
+
+// ArtifactInventory returns every artifact fingerprint the framework's
+// current configuration would consult when profiling app and fuzzing any
+// of the catalog's events, mapped to human-readable labels. Inspection
+// tools (aegisctl -artifacts) diff a store's entries against this set:
+// an entry whose fingerprint is absent can never be loaded by this
+// configuration — it is stale, left over from other flags.
+func (f *Framework) ArtifactInventory(app workload.App) (map[string]string, error) {
+	pcfg := profiler.DefaultConfig(f.cfg.Seed)
+	pcfg.TraceTicks = f.cfg.ProfileTraceTicks
+	pcfg.RankRepeats = f.cfg.ProfileRepeats
+	pcfg.Parallelism = f.cfg.Parallelism
+	out := profiler.New(f.catalog, pcfg).ArtifactUniverse(app)
+	fcfg := fuzzer.DefaultConfig(f.cfg.Seed)
+	fcfg.CandidatesPerEvent = f.cfg.FuzzCandidates
+	fcfg.Faults = f.cfg.Faults
+	fz, err := fuzzer.New(f.legal, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	for fp, label := range fz.ArtifactUniverse(f.catalog.Events) {
+		out[fp] = label
+	}
+	return out, nil
 }
 
 // GadgetSet is the result of the Event Fuzzer stage: a minimal covering
@@ -308,6 +349,7 @@ func (f *Framework) Fuzz(eventNames []string) (*GadgetSet, error) {
 	fcfg.CandidatesPerEvent = f.cfg.FuzzCandidates
 	fcfg.Parallelism = f.cfg.Parallelism
 	fcfg.Faults = f.cfg.Faults
+	fcfg.Store = f.store
 	fz, err := fuzzer.New(f.legal, fcfg)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,13 @@
 // Flags select the application, the DP mechanism and ε, and the offline
 // analysis budgets. The tool prints the profiler ranking, the gadget
 // cover, and the injection telemetry of a protected run.
+//
+// Besides the pipeline, aegisctl has client and inspection modes: -tail
+// streams a running ops server's flight journal, -ctl drives a running
+// aegisd's control API, and -artifacts DIR lists a campaign artifact
+// store's entries — kind, fingerprint, schema version, size — marking
+// each current or stale against the configuration the other flags
+// describe.
 package main
 
 import (
@@ -20,11 +27,13 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	aegis "github.com/repro/aegis"
+	"github.com/repro/aegis/internal/artifact"
 	"github.com/repro/aegis/internal/experiment"
 	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/obfuscator"
@@ -74,6 +83,8 @@ func run(args []string) error {
 		follow     = fs.Bool("follow", false, "with -tail: poll for new records instead of exiting after one dump")
 		tailWindow = fs.Int("window", 0, "with -tail: only the newest N records")
 		ctlFrom    = fs.String("ctl", "", "client mode: drive a running aegisd's control API (URL or host:port); the command follows the flags: status | list | tenant <name> | attach <name> [app [secrets]] | detach <name> | kill <name> | submit <name> <jobs> | reload <json|@file>")
+		storeDir   = fs.String("store", "", "artifact store directory backing the offline pipelines (campaign resume; a warm run is byte-identical, only faster)")
+		artifacts  = fs.String("artifacts", "", "inspect mode: list an artifact store's entries (kind, fingerprint, schema, size) and their staleness vs the current flags, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +94,9 @@ func run(args []string) error {
 	}
 	if *ctlFrom != "" {
 		return runCtl(*ctlFrom, fs.Args(), os.Stdout)
+	}
+	if *artifacts != "" {
+		return runArtifacts(*artifacts, *appName, *secrets, *seed, *candidates, *faultsFlag, os.Stdout)
 	}
 	switch *telemFmt {
 	case "summary", "json", "prom", "none":
@@ -107,6 +121,7 @@ func run(args []string) error {
 		FuzzCandidates:    *candidates,
 		ProfileTraceTicks: 80,
 		ProfileRepeats:    4,
+		ArtifactDir:       *storeDir,
 		Faults:            faults,
 		Ops:               ops.Config{Addr: *opsAddr},
 	})
@@ -280,6 +295,80 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runArtifacts is the -artifacts inspect mode: it lists every entry of an
+// artifact store and marks each one current or stale against the artifact
+// inventory the current flags would consult. A stale entry can never be
+// loaded under these flags (its fingerprinted inputs differ) — it is dead
+// weight from another configuration, safe to delete.
+func runArtifacts(dir, appName string, secrets int, seed uint64, candidates int, faultsFlag string, out io.Writer) error {
+	store, err := artifact.Open(dir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.List()
+	if err != nil {
+		return err
+	}
+	app, err := pickApp(appName, secrets)
+	if err != nil {
+		return err
+	}
+	faults, err := faultinject.Preset(faultsFlag, seed)
+	if err != nil {
+		return err
+	}
+	// Mirror the pipeline configuration of a plain aegisctl run so
+	// "current" means "this exact invocation, minus -artifacts, would load
+	// the entry".
+	fw, err := aegis.New(aegis.Config{
+		Seed:              seed,
+		FuzzCandidates:    candidates,
+		ProfileTraceTicks: 80,
+		ProfileRepeats:    4,
+		Faults:            faults,
+	})
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	inventory, err := fw.ArtifactInventory(app)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "artifact store %s: %d entries\n", dir, len(entries))
+	current, stale := 0, 0
+	var bytes int64
+	for _, e := range entries {
+		status, label := "STALE", metaSummary(e.Meta)
+		if l, ok := inventory[e.Fingerprint]; ok {
+			status, label = "current", l
+			current++
+		} else {
+			stale++
+		}
+		bytes += e.Size
+		fmt.Fprintf(out, "%-14s %s %-14s %8dB %-7s %s\n",
+			e.Kind, e.Fingerprint, e.Schema, e.Size, status, label)
+	}
+	fmt.Fprintf(out, "%d current under these flags, %d stale, %d bytes total\n",
+		current, stale, bytes)
+	return nil
+}
+
+// metaSummary renders an artifact's metadata as sorted k=v pairs.
+func metaSummary(meta map[string]string) string {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+meta[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // runCtl is the -ctl client: it maps a short command onto one

@@ -1,0 +1,176 @@
+// Package artifact implements the versioned, content-addressed binary
+// artifact store behind campaign resume and incremental re-profiling
+// (schema "aegis-artifact/v1").
+//
+// An artifact is a self-describing file holding one checkpointed result of
+// the offline pipelines: a per-secret leakage-trace matrix, a per-event MI
+// score, a fuzzed-event finding list, a screening memo or a gadget
+// catalog. The payload is a single contiguous float64 slab — the same
+// single-slab layout the trace collector and the stats kernels already
+// use — so loading is one read plus an index build over the header's
+// named sections; float64 bit patterns round-trip exactly, which is what
+// makes a resumed campaign byte-identical to a cold one.
+//
+// Artifacts are content-addressed by a 64-bit FNV-1a fingerprint over the
+// inputs that produced them (seed, config fields, event formulas, legal
+// instruction list …): the fingerprint is the file name, so a config
+// delta never aliases stale state — it simply misses. Writes go through a
+// temp file + fsync + atomic rename, so a killed campaign leaves either a
+// complete artifact or none; torn and corrupt files read as cache misses,
+// never as errors.
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Schema is the wire schema identifier of the current artifact format.
+const Schema = "aegis-artifact/v1"
+
+// magic opens every artifact file; the trailing byte versions the binary
+// framing (header/payload/checksum layout), while Schema versions the
+// header's meaning.
+var magic = [8]byte{'A', 'E', 'G', 'A', 'R', 'T', '0', '1'}
+
+// Section is one named view into the payload slab.
+type Section struct {
+	Name string `json:"name"`
+	Off  int    `json:"off"`
+	Len  int    `json:"len"`
+}
+
+// header is the self-describing JSON header of an artifact file.
+type header struct {
+	Schema      string            `json:"schema"`
+	Kind        string            `json:"kind"`
+	Fingerprint string            `json:"fingerprint"`
+	Meta        map[string]string `json:"meta,omitempty"`
+	Sections    []Section         `json:"sections,omitempty"`
+	SlabLen     int               `json:"slab_len"`
+}
+
+// Artifact is one decoded (or under-construction) artifact: a kind, the
+// fingerprint of the inputs that produced it, free-form string metadata,
+// and a float64 slab carved into named sections.
+type Artifact struct {
+	Kind        string
+	Fingerprint string
+	Meta        map[string]string
+	Sections    []Section
+	Slab        []float64
+}
+
+// New starts an empty artifact for the given kind and input fingerprint.
+func New(kind, fingerprint string) *Artifact {
+	return &Artifact{Kind: kind, Fingerprint: fingerprint, Meta: map[string]string{}}
+}
+
+// AddSection appends vals to the slab under the given name and records the
+// section index entry. Values are copied.
+func (a *Artifact) AddSection(name string, vals []float64) {
+	a.Sections = append(a.Sections, Section{Name: name, Off: len(a.Slab), Len: len(vals)})
+	a.Slab = append(a.Slab, vals...)
+}
+
+// Section returns the named view into the slab, or nil when absent. The
+// returned slice aliases the artifact's slab.
+func (a *Artifact) Section(name string) []float64 {
+	for _, s := range a.Sections {
+		if s.Name == name {
+			return a.Slab[s.Off : s.Off+s.Len : s.Off+s.Len]
+		}
+	}
+	return nil
+}
+
+// SetMeta records a metadata key.
+func (a *Artifact) SetMeta(key, value string) {
+	if a.Meta == nil {
+		a.Meta = map[string]string{}
+	}
+	a.Meta[key] = value
+}
+
+// encode renders the artifact in the v1 binary framing:
+//
+//	magic[8] | headerLen uint32 LE | header JSON | slab float64 LE … | fnv64a uint64 LE
+//
+// The checksum covers the header JSON and the slab bytes.
+func (a *Artifact) encode() ([]byte, error) {
+	h := header{
+		Schema:      Schema,
+		Kind:        a.Kind,
+		Fingerprint: a.Fingerprint,
+		Meta:        a.Meta,
+		Sections:    a.Sections,
+		SlabLen:     len(a.Slab),
+	}
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: marshal header: %w", err)
+	}
+	buf := make([]byte, 0, len(magic)+4+len(hdr)+8*len(a.Slab)+8)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	for _, v := range a.Slab {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	sum := fnv.New64a()
+	sum.Write(buf[len(magic)+4:])
+	buf = binary.LittleEndian.AppendUint64(buf, sum.Sum64())
+	return buf, nil
+}
+
+// decode parses a v1 artifact file. Any framing violation — bad magic,
+// truncation, checksum mismatch, schema drift, out-of-range sections —
+// returns an error; callers treat that as a cache miss.
+func decode(buf []byte) (*Artifact, error) {
+	if len(buf) < len(magic)+4+8 {
+		return nil, fmt.Errorf("artifact: truncated file (%d bytes)", len(buf))
+	}
+	if [8]byte(buf[:8]) != magic {
+		return nil, fmt.Errorf("artifact: bad magic %q", buf[:8])
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(buf[8:12]))
+	body := buf[12 : len(buf)-8]
+	if hdrLen < 0 || hdrLen > len(body) {
+		return nil, fmt.Errorf("artifact: header length %d exceeds file", hdrLen)
+	}
+	sum := fnv.New64a()
+	sum.Write(body)
+	if got, want := sum.Sum64(), binary.LittleEndian.Uint64(buf[len(buf)-8:]); got != want {
+		return nil, fmt.Errorf("artifact: checksum mismatch %016x != %016x", got, want)
+	}
+	var h header
+	if err := json.Unmarshal(body[:hdrLen], &h); err != nil {
+		return nil, fmt.Errorf("artifact: unmarshal header: %w", err)
+	}
+	if h.Schema != Schema {
+		return nil, fmt.Errorf("artifact: schema %q, want %q", h.Schema, Schema)
+	}
+	slabBytes := body[hdrLen:]
+	if len(slabBytes) != 8*h.SlabLen {
+		return nil, fmt.Errorf("artifact: slab is %d bytes, header says %d values", len(slabBytes), h.SlabLen)
+	}
+	slab := make([]float64, h.SlabLen)
+	for i := range slab {
+		slab[i] = math.Float64frombits(binary.LittleEndian.Uint64(slabBytes[8*i:]))
+	}
+	for _, s := range h.Sections {
+		if s.Off < 0 || s.Len < 0 || s.Off+s.Len > len(slab) {
+			return nil, fmt.Errorf("artifact: section %q [%d,+%d) outside slab of %d", s.Name, s.Off, s.Len, len(slab))
+		}
+	}
+	return &Artifact{
+		Kind:        h.Kind,
+		Fingerprint: h.Fingerprint,
+		Meta:        h.Meta,
+		Sections:    h.Sections,
+		Slab:        slab,
+	}, nil
+}

@@ -37,6 +37,11 @@ func BuildDefenseKit(sc Scale) (*DefenseKit, error) {
 	fcfg := fuzzer.DefaultConfig(sc.Seed)
 	fcfg.CandidatesPerEvent = sc.FuzzCandidates
 	fcfg.Parallelism = sc.Parallelism
+	store, err := sc.Store()
+	if err != nil {
+		return nil, err
+	}
+	fcfg.Store = store
 	fz, err := fuzzer.New(legal, fcfg)
 	if err != nil {
 		return nil, err

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+
+	"github.com/repro/aegis/internal/artifact"
 )
 
 // Scale sizes an experiment run. Tests use TestScale; the bench harness
@@ -43,6 +45,11 @@ type Scale struct {
 	// pipelines; <= 0 means GOMAXPROCS. Results are byte-identical at any
 	// value — only wall-clock time changes.
 	Parallelism int
+	// ArtifactDir, when non-empty, backs the profiling and fuzzing
+	// experiments with a versioned artifact store rooted there: campaign
+	// shards checkpoint at merge points and matching shards resume on
+	// re-runs. Results are byte-identical with or without the store.
+	ArtifactDir string
 	// FaultPreset names the substrate fault intensity for the robustness
 	// experiment ("off", "light", "heavy"); empty means the experiment
 	// sweeps all presets. Other experiments run on a healthy substrate
@@ -83,6 +90,15 @@ func EvalScale(seed uint64) Scale {
 		RankRepeats:     8,
 		Seed:            seed,
 	}
+}
+
+// Store opens the scale's artifact store, or returns nil (no error) when
+// no ArtifactDir is configured.
+func (sc Scale) Store() (*artifact.Store, error) {
+	if sc.ArtifactDir == "" {
+		return nil, nil
+	}
+	return artifact.Open(sc.ArtifactDir)
 }
 
 // Epsilons returns the paper's Fig. 9a privacy budget sweep 2^-3 .. 2^3.

@@ -83,12 +83,17 @@ type Table2Result struct {
 func Table2(sc Scale) (Table2Result, error) {
 	var out Table2Result
 	app := websiteApp(sc)
+	store, err := sc.Store()
+	if err != nil {
+		return Table2Result{}, err
+	}
 	for _, cat := range []*hpc.Catalog{
 		hpc.NewIntelXeonE51650Catalog(1),
 		hpc.NewAMDEpyc7252Catalog(1),
 	} {
 		pcfg := profiler.DefaultConfig(sc.Seed)
 		pcfg.Parallelism = sc.Parallelism
+		pcfg.Store = store
 		pcfg.WarmupTicks = sc.TraceTicks / 2
 		if pcfg.WarmupTicks < 20 {
 			pcfg.WarmupTicks = 20
@@ -162,6 +167,10 @@ type Table3Result struct {
 // specifications and reports per-step wall-clock.
 func Table3(sc Scale) (Table3Result, error) {
 	var out Table3Result
+	store, err := sc.Store()
+	if err != nil {
+		return Table3Result{}, err
+	}
 	type vendor struct {
 		name  string
 		spec  *isa.Spec
@@ -179,6 +188,7 @@ func Table3(sc Scale) (Table3Result, error) {
 		fcfg := fuzzer.DefaultConfig(sc.Seed)
 		fcfg.CandidatesPerEvent = sc.FuzzCandidates
 		fcfg.Parallelism = sc.Parallelism
+		fcfg.Store = store
 		fz, err := fuzzer.New(clean.Legal, fcfg)
 		if err != nil {
 			return Table3Result{}, err

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/repro/aegis/internal/artifact"
 	"github.com/repro/aegis/internal/faultinject"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/isa"
@@ -147,6 +148,12 @@ type Config struct {
 	// (event, bench) label, so they obey the same parallelism-independence
 	// contract as the RNG streams. The zero value is the healthy substrate.
 	Faults faultinject.Config
+	// Store, when set, checkpoints per-event search outcomes and the
+	// screening memo as versioned artifacts at the campaign's
+	// input-ordered merge points and resumes events whose fingerprint
+	// matches on restart. Resume is invisible to results; failed events
+	// are never cached.
+	Store *artifact.Store
 }
 
 // DefaultConfig returns evaluation defaults.
@@ -215,6 +222,11 @@ type Fuzzer struct {
 	root   *rng.Source
 	memo   *screenMemo
 	faults *faultinject.Injector
+	// resumeOnce/legalHash/byID cache the legal-list fingerprint and the
+	// variant-ID index used by artifact resume.
+	resumeOnce sync.Once
+	legalHash  string
+	byID       map[int]isa.Variant
 }
 
 // gadgetSig is a gadget's noise-free execution signature: the raw counter
@@ -640,20 +652,55 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 		Best:            make(map[string]Finding, len(events)),
 	}
 
-	// Fan the events out; shard failures are carried in the outcome (not
-	// as Map errors) so one bad event never cancels its siblings.
+	// Resume: restore events whose findings artifact matches the campaign
+	// fingerprint and fan out only the misses. Every event shard derives
+	// its streams from (Seed, event name) alone, so skipping cached
+	// events leaves the recomputed ones bit-identical. Failed events are
+	// never cached, so an error always re-runs.
 	type outcome struct {
 		findings []Finding
 		tried    int
 		err      error
 	}
+	outs := make([]outcome, len(events))
+	missIdx := make([]int, 0, len(events))
+	if f.cfg.Store != nil {
+		f.loadMemo()
+		for i, e := range events {
+			if e != nil {
+				if findings, tried, ok := f.loadEvent(e); ok {
+					outs[i] = outcome{findings: findings, tried: tried}
+					mFuzzResumeHit.Inc()
+					continue
+				}
+				mFuzzResumeMiss.Inc()
+			}
+			missIdx = append(missIdx, i)
+		}
+	} else {
+		for i := range events {
+			missIdx = append(missIdx, i)
+		}
+	}
+
+	// Fan the missing events out; shard failures are carried in the
+	// outcome (not as Map errors) so one bad event never cancels its
+	// siblings.
 	pool := parallel.NewPool("fuzzer.events", f.cfg.Parallelism)
 	genStart := time.Now() //aegis:allow(detrand) wall-clock feeds Timing telemetry only, never simulation state
-	outs, _ := parallel.Map(context.Background(), pool, len(events),
+	fresh, _ := parallel.Map(context.Background(), pool, len(missIdx),
 		func(_ context.Context, i int) (outcome, error) {
-			findings, tried, err := f.FuzzEvent(events[i])
+			findings, tried, err := f.FuzzEvent(events[missIdx[i]])
 			return outcome{findings: findings, tried: tried, err: err}, nil
 		})
+	// Merge point: fold the fresh outcomes back in input-event order and
+	// checkpoint the successful ones.
+	for mi, i := range missIdx {
+		outs[i] = fresh[mi]
+		if f.cfg.Store != nil && fresh[mi].err == nil && events[i] != nil {
+			f.storeEvent(events[i], fresh[mi].findings, fresh[mi].tried)
+		}
+	}
 	// FuzzEvent interleaves generation/execution and confirmation; split
 	// the wall clock by the paper's observed ~250:1 ratio is not possible
 	// post hoc, so time filtering separately and attribute the rest to
@@ -705,6 +752,13 @@ func (f *Fuzzer) Fuzz(events []*hpc.Event) (*Result, error) {
 	// touches only reported candidates).
 	res.Timing.GenerateExec = genElapsed * 95 / 100
 	res.Timing.Confirmation = genElapsed - res.Timing.GenerateExec
+	// Campaign merge point: persist the grown screening memo and journal
+	// the resume-skip funnel.
+	if f.cfg.Store != nil {
+		f.storeMemo()
+		fStage.Record(0, flight.CodeStageFuzzerResume, flight.CodeNone,
+			float64(len(events)-len(missIdx)), float64(len(missIdx)), 0)
+	}
 	fStage.Record(0, flight.CodeStageFuzzerCampaign, flight.CodeNone,
 		float64(len(events)), float64(len(res.Skipped)), 0)
 	telemetry.Log().Info("fuzzer: campaign done",

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/repro/aegis/internal/artifact"
 	"github.com/repro/aegis/internal/hpc"
 	"github.com/repro/aegis/internal/microarch"
 	"github.com/repro/aegis/internal/parallel"
@@ -91,6 +92,12 @@ type Config struct {
 	// repeat) or scores pure per-event statistics, and shard outputs
 	// merge in input order.
 	Parallelism int
+	// Store, when set, checkpoints campaign shards (warm-up verdicts,
+	// per-secret traces, per-event scores) as versioned artifacts at
+	// input-ordered merge points and resumes from shards whose
+	// fingerprint matches on restart. Resume is invisible to results:
+	// loaded shards are byte-identical to recomputed ones.
+	Store *artifact.Store
 }
 
 // DefaultConfig returns evaluation-scale defaults (scaled down ~10x from
@@ -119,6 +126,9 @@ type Profiler struct {
 	// Pooling is safe because scoreEvent is pure: the scratch never
 	// carries state between calls, only capacity.
 	scorePool sync.Pool
+	// catOnce/catFP cache the catalog fingerprint for artifact addressing.
+	catOnce sync.Once
+	catFP   string
 }
 
 // scoreScratch is one worker's reusable scoring buffers.
@@ -251,6 +261,17 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 	span := telemetry.StartSpan("profiler.warmup")
 	defer span.End()
 	mWarmupRuns.Inc()
+	// Resume: a matching warm-up artifact replaces the whole fan-out. The
+	// verdict bitmap is a pure function of the fingerprinted inputs, so the
+	// restored result equals the recomputed one.
+	if p.cfg.Store != nil {
+		if res, ok := p.loadWarmup(app); ok {
+			mResumeWarmupHit.Inc()
+			fStage.Record(0, flight.CodeStageProfilerResume, flight.CodeStageProfilerWarmup, 1, 0, 0)
+			return p.finishWarmup(app, res), nil
+		}
+		mResumeWarmupMiss.Inc()
+	}
 	res := &WarmupResult{
 		TotalEvents:      p.catalog.Size(),
 		RemainingPerType: make(map[hpc.EventType]int),
@@ -312,6 +333,18 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 			res.RemainingPerType[e.Type]++
 		}
 	}
+	// Merge point: every shard has landed, so the verdict bitmap is final
+	// and safe to checkpoint.
+	if p.cfg.Store != nil {
+		p.storeWarmup(app, changed)
+		fStage.Record(0, flight.CodeStageProfilerResume, flight.CodeStageProfilerWarmup, 0, 1, 0)
+	}
+	return p.finishWarmup(app, res), nil
+}
+
+// finishWarmup records the result-volume metrics, stage journal entry and
+// log line shared by the computed and resumed warm-up paths.
+func (p *Profiler) finishWarmup(app workload.App, res *WarmupResult) *WarmupResult {
 	mWarmupRemaining.Add(float64(len(res.Remaining)))
 	mWarmupFiltered.Add(float64(res.TotalEvents - len(res.Remaining)))
 	fStage.Record(0, flight.CodeStageProfilerWarmup, flight.CodeNone,
@@ -320,7 +353,7 @@ func (p *Profiler) Warmup(app workload.App) (*WarmupResult, error) {
 		telemetry.F("app", app.Name()),
 		telemetry.F("total", res.TotalEvents),
 		telemetry.F("remaining", len(res.Remaining)))
-	return res, nil
+	return res
 }
 
 // RankedEvent is one event with its vulnerability score.
@@ -476,19 +509,43 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	}
 	pool := parallel.NewPool("profiler.rank", p.cfg.Parallelism)
 	reps := p.cfg.RankRepeats
-	flat, err := parallel.Map(context.Background(), pool, len(secrets)*reps,
+	// Resume: restore whole per-secret trace matrices from the store and
+	// collect only the missing secrets. A shard's RNG stream depends only
+	// on (Seed, secret, repeat), never on which other shards run, so
+	// skipping cached secrets leaves the recomputed ones bit-identical.
+	raws := make([]rawSet, len(secrets))
+	missing := make([]int, 0, len(secrets))
+	for si, secret := range secrets {
+		raws[si].secret = secret
+		if p.cfg.Store != nil {
+			if traces, ok := p.loadTraces(app, secret); ok {
+				raws[si].traces = traces
+				mResumeTraceHit.Inc()
+				continue
+			}
+			mResumeTraceMiss.Inc()
+		}
+		missing = append(missing, si)
+	}
+	traceHits := len(secrets) - len(missing)
+	flat, err := parallel.Map(context.Background(), pool, len(missing)*reps,
 		func(_ context.Context, i int) ([][]float64, error) {
-			secret := secrets[i/reps]
+			secret := secrets[missing[i/reps]]
 			stream := p.root.SplitN("rank/"+secret, i%reps)
 			return p.rawTrace(app, secret, p.cfg.TraceTicks, stream, false)
 		})
 	if err != nil {
 		return nil, err
 	}
-	raws := make([]rawSet, len(secrets))
-	for si, secret := range secrets {
-		raws[si].secret = secret
-		raws[si].traces = flat[si*reps : (si+1)*reps]
+	for mi, si := range missing {
+		raws[si].traces = flat[mi*reps : (mi+1)*reps]
+	}
+	// Merge point: all trace shards landed in (secret, repeat) order;
+	// checkpoint the freshly collected matrices.
+	if p.cfg.Store != nil {
+		for _, si := range missing {
+			p.storeTraces(app, secrets[si], raws[si].traces)
+		}
 	}
 	if timed {
 		hTraceSeconds.Observe(time.Since(traceStart).Seconds()) //aegis:allow(detrand) wall-clock feeds timing histograms only, never ranking state
@@ -498,12 +555,44 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	// is a pure per-event computation, so shards stay deterministic and
 	// merge in input-event order (nil = degenerate, unrankable).
 	scoreSpan := span.Child("profiler.rank.score")
-	scored, err := parallel.Map(context.Background(), pool, len(events),
+	// Resume: a score cell depends only on (event formula, trace matrix,
+	// scoring config), all covered by its fingerprint; restore hits
+	// (including cached degenerate verdicts) and score only the misses.
+	scored := make([]*RankedEvent, len(events))
+	var scoreFPs []string
+	missIdx := make([]int, 0, len(events))
+	if p.cfg.Store != nil {
+		combined := p.tracesFP(app, secrets)
+		scoreFPs = make([]string, len(events))
+		for i, e := range events {
+			scoreFPs[i] = p.scoreFP(e, combined)
+			if re, ok := p.loadScore(e, scoreFPs[i], secrets); ok {
+				scored[i] = re
+				mResumeScoreHit.Inc()
+				continue
+			}
+			mResumeScoreMiss.Inc()
+			missIdx = append(missIdx, i)
+		}
+	} else {
+		for i := range events {
+			missIdx = append(missIdx, i)
+		}
+	}
+	fresh, err := parallel.Map(context.Background(), pool, len(missIdx),
 		func(_ context.Context, i int) (*RankedEvent, error) {
-			return p.scoreEvent(events[i], raws, timed), nil
+			return p.scoreEvent(events[missIdx[i]], raws, timed), nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	// Merge point: fold freshly scored cells back in input-event order and
+	// checkpoint them (nil persists as a degenerate verdict).
+	for mi, i := range missIdx {
+		scored[i] = fresh[mi]
+		if p.cfg.Store != nil {
+			p.storeScore(events[i], scoreFPs[i], fresh[mi])
+		}
 	}
 	ranked := make([]RankedEvent, 0, len(events))
 	for _, re := range scored {
@@ -515,6 +604,11 @@ func (p *Profiler) Rank(app workload.App, events []*hpc.Event) ([]RankedEvent, e
 	mRankedEvents.Add(float64(len(ranked)))
 	fStage.Record(0, flight.CodeStageProfilerRank, flight.CodeNone,
 		float64(len(ranked)), float64(len(events)-len(ranked)), 0)
+	if p.cfg.Store != nil {
+		fStage.Record(0, flight.CodeStageProfilerResume, flight.CodeStageProfilerRank,
+			float64(traceHits+len(events)-len(missIdx)),
+			float64(len(missing)+len(missIdx)), 0)
+	}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].MI > ranked[j].MI })
 	return ranked, nil
 }

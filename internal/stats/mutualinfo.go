@@ -197,14 +197,40 @@ func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 	for i := range py {
 		py[i] = 0
 	}
-	// Binning pass: one multiply by the precomputed reciprocal bin width
-	// per axis instead of a divide per sample. The reciprocal form rounds
-	// differently from (v-lo)/(hi-lo)·bins, so a sample landing within one
-	// ULP of a bin boundary may shift one bin — the estimator goldens were
-	// explicitly re-pinned (see TestKernelGoldenRepins). Counts stay exact
-	// integers, so everything downstream of binning is order-insensitive.
-	invWx := float64(bins) / (xhi - xlo)
-	invWy := float64(bins) / (yhi - ylo)
+	// Binning and the fused count-entropy sweep are shared with MIAccum
+	// (stream.go): the accumulator bins partial sample batches with
+	// binCounts and finishes merged tables with countEntropyMI, so a
+	// merged partial-count estimate is bit-identical to this one-shot
+	// path over the concatenated samples.
+	binCounts(joint, py, xs, ys, bins, xlo, ylo, invW(bins, xlo, xhi), invW(bins, ylo, yhi))
+	return countEntropyMI(joint, py, bins, float64(len(xs))), nil
+}
+
+// invW returns the reciprocal bin width float64(bins)/(hi-lo). Kept as
+// one expression so every binning call site rounds identically.
+//
+//aegis:hotpath
+func invW(bins int, lo, hi float64) float64 {
+	return float64(bins) / (hi - lo)
+}
+
+// binCounts bins the paired samples into the bins×bins joint count table
+// and the Y marginal: one multiply by the precomputed reciprocal bin
+// width per axis instead of a divide per sample. The reciprocal form
+// rounds differently from (v-lo)/(hi-lo)·bins, so a sample landing within
+// one ULP of a bin boundary may shift one bin — the estimator goldens
+// were explicitly re-pinned (see TestKernelGoldenRepins). Counts stay
+// exact integers, so everything downstream of binning is
+// order-insensitive — which is also what makes MIAccum partial tables
+// mergeable without changing the estimate.
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func binCounts(joint, py, xs, ys []float64, bins int, xlo, ylo, invWx, invWy float64) {
 	last := bins - 1
 	for i := range xs {
 		bx := int((xs[i] - xlo) * invWx)
@@ -222,18 +248,29 @@ func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 		joint[bx*bins+by]++
 		py[by]++
 	}
-	// Fused sweep: the X-marginal histogram build and the MI accumulation
-	// share a single pass over each joint row — the row sum (an exact
-	// integer) is px[i], consumed immediately by the row's entropy term.
-	// The estimator is accumulated in count-entropy form,
-	//
-	//	I = (Σ c·log2 c − Σ px·log2 px − Σ py·log2 py)/n + log2 n,
-	//
-	// which is algebraically the Σ p·log2(p/(px·py)) sum but touches log2
-	// only for counts ≥ 2 (log2 1 = 0), and those counts are exact small
-	// integers served from a precomputed table. The summation order and
-	// rounding differ from the per-cell quotient form, so the estimator
-	// goldens were explicitly re-pinned (see TestKernelGoldenRepins).
+}
+
+// countEntropyMI is the fused MI sweep over an exact-integer joint count
+// table: the X-marginal histogram build and the MI accumulation share a
+// single pass over each joint row — the row sum (an exact integer) is
+// px[i], consumed immediately by the row's entropy term. The estimator is
+// accumulated in count-entropy form,
+//
+//	I = (Σ c·log2 c − Σ px·log2 px − Σ py·log2 py)/n + log2 n,
+//
+// which is algebraically the Σ p·log2(p/(px·py)) sum but touches log2
+// only for counts ≥ 2 (log2 1 = 0), and those counts are exact small
+// integers served from a precomputed table. The summation order and
+// rounding differ from the per-cell quotient form, so the estimator
+// goldens were explicitly re-pinned (see TestKernelGoldenRepins).
+//
+// The steady-state path is allocation-free: gated dynamically by TestZeroAllocStatsScratch
+// (alloc_gate_test.go, `make bench-alloc`) and statically by the
+// aegis-lint hotpath rule, which bans allocating constructs in any
+// function carrying this annotation.
+//
+//aegis:hotpath
+func countEntropyMI(joint, py []float64, bins int, n float64) float64 {
 	var sc, sx float64
 	for i := 0; i < bins; i++ {
 		row := joint[i*bins : (i+1)*bins : (i+1)*bins]
@@ -254,12 +291,11 @@ func (s *Scratch) BinnedMI(xs, ys []float64, bins int) (float64, error) {
 			sy += c * log2Count(c)
 		}
 	}
-	n := float64(len(xs))
 	mi := (sc-sx-sy)/n + math.Log2(n)
 	if mi < 0 {
 		mi = 0
 	}
-	return mi, nil
+	return mi
 }
 
 // log2IntTab caches log2 of small integer counts; entries are produced by

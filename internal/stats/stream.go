@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MIAccum is a streaming, mergeable form of the BinnedMI estimator: a
+// 2-D histogram whose bin ranges are fixed at construction, so sample
+// batches can be binned independently — on different workers, in any
+// order, across process restarts — and their count tables merged before
+// one final sweep.
+//
+// Bit-identity contract: counts are exact non-negative integers stored in
+// float64, so binning and merging are order-insensitive, and Value
+// finishes the merged table with the same fused count-entropy sweep
+// (countEntropyMI) and the same reciprocal-width binning (binCounts) the
+// one-shot Scratch.BinnedMI path uses. An MIAccum constructed with the
+// full data's MinMax ranges therefore returns the exact float64
+// Scratch.BinnedMI would return on the concatenated samples, no matter
+// how the batches were split or merged (pinned by TestMIAccumMergeBitIdentical).
+// With any other fixed ranges it is still a consistent estimator, just a
+// differently-binned one.
+type MIAccum struct {
+	bins     int
+	xlo, xhi float64
+	ylo, yhi float64
+	invWx    float64
+	invWy    float64
+	joint    []float64 // bins×bins row-major exact counts
+	py       []float64 // Y marginal counts
+	n        float64   // total samples binned
+}
+
+// NewMIAccum builds an accumulator over bins×bins cells spanning
+// [xlo,xhi]×[ylo,yhi]. It applies the same input clamps as BinnedMI:
+// bins < 2 becomes 2, and a degenerate range (hi == lo) is widened to
+// lo+1, so an accumulator built from MinMax of the full data bins exactly
+// like the one-shot path.
+func NewMIAccum(bins int, xlo, xhi, ylo, yhi float64) *MIAccum {
+	if bins < 2 {
+		bins = 2
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	return &MIAccum{
+		bins:  bins,
+		xlo:   xlo,
+		xhi:   xhi,
+		ylo:   ylo,
+		yhi:   yhi,
+		invWx: invW(bins, xlo, xhi),
+		invWy: invW(bins, ylo, yhi),
+		joint: make([]float64, bins*bins),
+		py:    make([]float64, bins),
+	}
+}
+
+// Bins returns the per-axis bin count.
+func (a *MIAccum) Bins() int { return a.bins }
+
+// N returns the number of samples binned so far.
+func (a *MIAccum) N() int { return int(a.n) }
+
+// Add bins one batch of paired samples into the partial count tables.
+func (a *MIAccum) Add(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("stats: paired samples length mismatch %d != %d", len(xs), len(ys))
+	}
+	binCounts(a.joint, a.py, xs, ys, a.bins, a.xlo, a.ylo, a.invWx, a.invWy)
+	a.n += float64(len(xs))
+	return nil
+}
+
+// Merge folds another accumulator's counts into a. Both must share bins
+// and ranges (i.e. be built by NewMIAccum with the same arguments);
+// count addition is exact-integer arithmetic, so merge order can never
+// change the final estimate.
+func (a *MIAccum) Merge(b *MIAccum) error {
+	if a.bins != b.bins || a.xlo != b.xlo || a.xhi != b.xhi || a.ylo != b.ylo || a.yhi != b.yhi {
+		return fmt.Errorf("stats: merging incompatible MI accumulators (%d bins [%g,%g]x[%g,%g] vs %d bins [%g,%g]x[%g,%g])",
+			a.bins, a.xlo, a.xhi, a.ylo, a.yhi, b.bins, b.xlo, b.xhi, b.ylo, b.yhi)
+	}
+	for i, c := range b.joint {
+		a.joint[i] += c
+	}
+	for i, c := range b.py {
+		a.py[i] += c
+	}
+	a.n += b.n
+	return nil
+}
+
+// Counts returns the joint count table (bins×bins row-major), the Y
+// marginal and the sample total — the artifact-serializable state of the
+// accumulator. The slices alias the accumulator.
+func (a *MIAccum) Counts() (joint, py []float64, n float64) {
+	return a.joint, a.py, a.n
+}
+
+// SetCounts restores serialized state (e.g. loaded from an artifact
+// section). Lengths must match the accumulator's shape.
+func (a *MIAccum) SetCounts(joint, py []float64, n float64) error {
+	if len(joint) != a.bins*a.bins || len(py) != a.bins {
+		return fmt.Errorf("stats: count tables %d/%d do not fit %d bins", len(joint), len(py), a.bins)
+	}
+	copy(a.joint, joint)
+	copy(a.py, py)
+	a.n = n
+	return nil
+}
+
+// Value finishes the accumulated table with the shared fused
+// count-entropy sweep and returns the MI estimate in bits. It does not
+// consume the accumulator; more batches may be added afterwards.
+func (a *MIAccum) Value() (float64, error) {
+	if int(a.n) < a.bins {
+		return 0, ErrInsufficientData
+	}
+	return countEntropyMI(a.joint, a.py, a.bins, a.n), nil
+}
+
+// CovAccum accumulates the first and second moments of d-dimensional
+// samples — n, Σx and Σx·xᵀ — the rank-updated covariance state behind
+// incremental PCA re-fits: adding, removing or merging samples is O(d²)
+// per row, so a workload delta re-fits from updated moments instead of
+// re-streaming the full sample block.
+//
+// Unlike MIAccum, moment-form covariance is NOT bit-identical to the
+// centered two-pass covariance of FitPCA/FitPCASlab: cov = Σx·xᵀ/n −
+// mean·meanᵀ rounds differently from Σ(x−mean)(x−mean)ᵀ/n. FitPCAMoments
+// therefore agrees with FitPCASlab only to numerical tolerance
+// (TestFitPCAMomentsAgrees pins ~1e-8 on well-conditioned data), which is
+// why the artifact-resume paths persist scored results, not moment state,
+// wherever byte-identity is contractual.
+type CovAccum struct {
+	d     int
+	n     float64
+	sum   []float64
+	outer []float64 // d×d row-major Σ x·xᵀ
+}
+
+// NewCovAccum builds an accumulator for d-dimensional samples.
+func NewCovAccum(d int) *CovAccum {
+	return &CovAccum{d: d, sum: make([]float64, d), outer: make([]float64, d*d)}
+}
+
+// Dim returns the sample dimension d.
+func (c *CovAccum) Dim() int { return c.d }
+
+// N returns the number of live samples.
+func (c *CovAccum) N() int { return int(c.n) }
+
+// Add rank-updates the moments with one sample.
+func (c *CovAccum) Add(row []float64) error { return c.update(row, 1) }
+
+// Remove rank-downdates the moments, deleting a previously added sample.
+// The caller is responsible for only removing rows that were added; the
+// moments cannot detect a mismatch.
+func (c *CovAccum) Remove(row []float64) error { return c.update(row, -1) }
+
+func (c *CovAccum) update(row []float64, sign float64) error {
+	if len(row) != c.d {
+		return fmt.Errorf("stats: sample has %d features, accumulator holds %d", len(row), c.d)
+	}
+	c.n += sign
+	for i, v := range row {
+		c.sum[i] += sign * v
+		oi := c.outer[i*c.d : (i+1)*c.d : (i+1)*c.d]
+		for j, w := range row {
+			oi[j] += sign * v * w
+		}
+	}
+	return nil
+}
+
+// Merge folds another accumulator of the same dimension into c.
+func (c *CovAccum) Merge(o *CovAccum) error {
+	if c.d != o.d {
+		return fmt.Errorf("stats: merging covariance accumulators of dimension %d and %d", c.d, o.d)
+	}
+	c.n += o.n
+	for i, v := range o.sum {
+		c.sum[i] += v
+	}
+	for i, v := range o.outer {
+		c.outer[i] += v
+	}
+	return nil
+}
+
+// FitPCAMoments fits a k-component PCA from accumulated moments: the
+// covariance cov = Σx·xᵀ/n − mean·meanᵀ is materialised once (O(d²)) and
+// power-iterated with deflation, reusing the arena's component buffers.
+// The returned *PCA aliases the arena (Scratch ownership rules apply).
+// See the CovAccum doc for the tolerance-vs-FitPCASlab contract.
+func (s *Scratch) FitPCAMoments(c *CovAccum, k int) (*PCA, error) {
+	n := c.n
+	if n < 2 {
+		return nil, ErrInsufficientData
+	}
+	d := c.d
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("stats: invalid component count %d for dimension %d", k, d)
+	}
+	s.mean = grow(s.mean, d)
+	mean := s.mean
+	for j := range mean {
+		mean[j] = c.sum[j] / n
+	}
+	// Materialise the covariance into the centered-slab arena buffer (the
+	// moment path has no centered sample block to keep there).
+	s.centSlab = grow(s.centSlab, d*d)
+	cov := s.centSlab[: d*d : d*d]
+	for i := 0; i < d; i++ {
+		oi := c.outer[i*d : (i+1)*d : (i+1)*d]
+		ci := cov[i*d : (i+1)*d : (i+1)*d]
+		for j := range ci {
+			ci[j] = oi[j]/n - mean[i]*mean[j]
+		}
+	}
+
+	s.compRows = growRows(s.compRows, k)
+	s.compSlab = grow(s.compSlab, k*d)
+	s.vars = grow(s.vars, k)
+	s.w = grow(s.w, d)
+	s.pca = PCA{
+		Mean:       mean,
+		Components: s.compRows[:0],
+		Variances:  s.vars[:0],
+	}
+	p := &s.pca
+
+	for comp := 0; comp < k; comp++ {
+		v := s.compSlab[comp*d : (comp+1)*d : (comp+1)*d]
+		// Same deterministic start vector as fitCentered, so the two paths
+		// converge toward the same eigenvector signs.
+		for j := range v {
+			v[j] = 1 / math.Sqrt(float64(d))
+			if (j+comp)%2 == 1 {
+				v[j] = -v[j]
+			}
+		}
+		orthonormalize(v, p.Components)
+		var lambda float64
+		for iter := 0; iter < 200; iter++ {
+			w := s.w
+			for i := 0; i < d; i++ {
+				ci := cov[i*d : (i+1)*d : (i+1)*d]
+				var dot float64
+				for j, vj := range v {
+					dot += ci[j] * vj
+				}
+				w[i] = dot
+			}
+			orthonormalize(w, p.Components)
+			norm := vecNorm(w)
+			if norm < 1e-14 {
+				break
+			}
+			for j := range w {
+				w[j] /= norm
+			}
+			delta := 0.0
+			for j := range w {
+				delta += (w[j] - v[j]) * (w[j] - v[j])
+			}
+			copy(v, w)
+			lambda = norm
+			if delta < 1e-18 {
+				break
+			}
+		}
+		p.Components = append(p.Components, v)
+		p.Variances = append(p.Variances, lambda)
+	}
+	return p, nil
+}
+
+// FitPCAMoments is the allocating convenience form.
+func FitPCAMoments(c *CovAccum, k int) (*PCA, error) {
+	return new(Scratch).FitPCAMoments(c, k)
+}

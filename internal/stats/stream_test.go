@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/aegis/internal/rng"
+)
+
+// streamSamples draws a deterministic correlated sample pair.
+func streamSamples(n int, seed uint64) (xs, ys []float64) {
+	r := rng.New(seed).Split("stream-test")
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * 3
+		ys[i] = 0.8*xs[i] + 0.6*r.NormFloat64()
+	}
+	return xs, ys
+}
+
+// TestMIAccumMergeBitIdentical pins the tentpole contract: partial count
+// tables binned in independent chunks and merged (in any split, including
+// per-chunk accumulators serialized through Counts/SetCounts) finish to
+// the exact float64 the fused one-shot Scratch.BinnedMI sweep returns.
+func TestMIAccumMergeBitIdentical(t *testing.T) {
+	const bins = 24
+	xs, ys := streamSamples(600, 11)
+	want, err := BinnedMI(xs, ys, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xlo, xhi := MinMax(xs)
+	ylo, yhi := MinMax(ys)
+
+	for _, chunks := range []int{1, 2, 4, 7, 600} {
+		total := NewMIAccum(bins, xlo, xhi, ylo, yhi)
+		per := len(xs) / chunks
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*per, (c+1)*per
+			if c == chunks-1 {
+				hi = len(xs)
+			}
+			// Each chunk gets its own accumulator (a worker shard), merged
+			// via the serializable count tables.
+			part := NewMIAccum(bins, xlo, xhi, ylo, yhi)
+			if err := part.Add(xs[lo:hi], ys[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			joint, py, n := part.Counts()
+			restored := NewMIAccum(bins, xlo, xhi, ylo, yhi)
+			if err := restored.SetCounts(joint, py, n); err != nil {
+				t.Fatal(err)
+			}
+			if err := total.Merge(restored); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := total.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%d chunks: merged MI %v (%016x) != one-shot %v (%016x)",
+				chunks, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestMIAccumDegenerateRange mirrors BinnedMI's hi==lo widening.
+func TestMIAccumDegenerateRange(t *testing.T) {
+	xs := make([]float64, 32)
+	ys := make([]float64, 32)
+	for i := range ys {
+		ys[i] = float64(i % 5)
+	}
+	want, err := BinnedMI(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xlo, xhi := MinMax(xs)
+	ylo, yhi := MinMax(ys)
+	acc := NewMIAccum(4, xlo, xhi, ylo, yhi)
+	if err := acc.Add(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := acc.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("degenerate-range MI %v != %v", got, want)
+	}
+}
+
+func TestMIAccumErrors(t *testing.T) {
+	acc := NewMIAccum(1, 0, 1, 0, 1) // bins clamps to 2
+	if acc.Bins() != 2 {
+		t.Fatalf("bins = %d, want 2", acc.Bins())
+	}
+	if err := acc.Add([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := acc.Value(); err == nil {
+		t.Fatal("undersampled accumulator produced a value")
+	}
+	other := NewMIAccum(3, 0, 1, 0, 1)
+	if err := acc.Merge(other); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+	if err := acc.SetCounts([]float64{1}, []float64{1, 2}, 3); err == nil {
+		t.Fatal("mis-shaped SetCounts accepted")
+	}
+}
+
+// TestCovAccumMatchesPCA checks the rank-update path against the two-pass
+// fit: Add all rows (split across merged accumulators), fit, compare to
+// FitPCASlab within tolerance; then Remove a block and compare against a
+// fresh fit of the remaining rows — the incremental re-fit a workload
+// delta performs.
+func TestCovAccumMatchesPCA(t *testing.T) {
+	const n, d = 60, 12
+	r := rng.New(3).Split("cov-test")
+	slab := make([]float64, n*d)
+	for i := range slab {
+		slab[i] = r.NormFloat64()*2 + math.Sin(float64(i%d))
+	}
+
+	accA := NewCovAccum(d)
+	accB := NewCovAccum(d)
+	for i := 0; i < n; i++ {
+		row := slab[i*d : (i+1)*d]
+		acc := accA
+		if i%2 == 1 {
+			acc = accB
+		}
+		if err := acc.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := accA.Merge(accB); err != nil {
+		t.Fatal(err)
+	}
+	if accA.N() != n || accA.Dim() != d {
+		t.Fatalf("accumulator shape %d×%d, want %d×%d", accA.N(), accA.Dim(), n, d)
+	}
+
+	var st Scratch
+	ref, err := st.FitPCASlab(slab, n, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refComp := append([]float64(nil), ref.Components[0]...)
+	refVar := ref.Variances[0]
+	refMean := append([]float64(nil), ref.Mean...)
+
+	got, err := FitPCAMoments(accA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-8
+	for j := range refMean {
+		if math.Abs(got.Mean[j]-refMean[j]) > tol {
+			t.Fatalf("mean[%d]: %v != %v", j, got.Mean[j], refMean[j])
+		}
+	}
+	if math.Abs(got.Variances[0]-refVar) > tol*math.Max(1, refVar) {
+		t.Fatalf("variance %v != %v", got.Variances[0], refVar)
+	}
+	align := 0.0
+	for j := range refComp {
+		align += got.Components[0][j] * refComp[j]
+	}
+	if math.Abs(math.Abs(align)-1) > tol {
+		t.Fatalf("leading component misaligned: |dot| = %v", math.Abs(align))
+	}
+
+	// Delta re-fit: remove the last 10 rows and compare to a fresh fit of
+	// the surviving block.
+	const keep = n - 10
+	for i := keep; i < n; i++ {
+		if err := accA.Remove(slab[i*d : (i+1)*d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref2, err := st.FitPCASlab(slab[:keep*d], keep, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := FitPCAMoments(accA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2.Variances[0]-ref2.Variances[0]) > 1e-6*math.Max(1, ref2.Variances[0]) {
+		t.Fatalf("post-remove variance %v != %v", got2.Variances[0], ref2.Variances[0])
+	}
+	align = 0
+	for j := range ref2.Components[0] {
+		align += got2.Components[0][j] * ref2.Components[0][j]
+	}
+	if math.Abs(math.Abs(align)-1) > 1e-6 {
+		t.Fatalf("post-remove component misaligned: |dot| = %v", math.Abs(align))
+	}
+}
+
+func TestCovAccumErrors(t *testing.T) {
+	acc := NewCovAccum(3)
+	if err := acc.Add([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-dimension row accepted")
+	}
+	if err := acc.Merge(NewCovAccum(4)); err == nil {
+		t.Fatal("wrong-dimension merge accepted")
+	}
+	if _, err := FitPCAMoments(acc, 1); err == nil {
+		t.Fatal("empty accumulator fitted")
+	}
+	acc.Add([]float64{1, 0, 0})
+	acc.Add([]float64{0, 1, 0})
+	if _, err := FitPCAMoments(acc, 9); err == nil {
+		t.Fatal("oversized component count accepted")
+	}
+}

@@ -20,6 +20,19 @@ func populated() *Registry {
 	return r
 }
 
+// artifactPopulated mirrors the artifact store's cache funnel: per-kind
+// hit/miss/write counters, the corrupt-file signal and an IO latency
+// histogram, all under the registered artifact_* names.
+func artifactPopulated() *Registry {
+	r := NewRegistry()
+	r.Counter(MetricArtifactCacheHitsTotal, L("kind", "profile-trace")).Add(4)
+	r.Counter(MetricArtifactCacheMissesTotal, L("kind", "profile-trace")).Add(2)
+	r.Counter(MetricArtifactWritesTotal, L("kind", "profile-trace")).Add(2)
+	r.Counter(MetricArtifactCorruptTotal).Inc()
+	r.Histogram(MetricArtifactLoadSeconds, []float64{0.01, 0.1}).Observe(0.002)
+	return r
+}
+
 func TestPrometheusGolden(t *testing.T) {
 	r := populated()
 	var b strings.Builder
@@ -39,6 +52,32 @@ aegis_delta_bucket{le="10"} 2
 aegis_delta_bucket{le="+Inf"} 3
 aegis_delta_sum 107.5
 aegis_delta_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusArtifactGolden(t *testing.T) {
+	r := artifactPopulated()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE artifact_cache_hits_total counter
+artifact_cache_hits_total{kind="profile-trace"} 4
+# TYPE artifact_cache_misses_total counter
+artifact_cache_misses_total{kind="profile-trace"} 2
+# TYPE artifact_corrupt_total counter
+artifact_corrupt_total 1
+# TYPE artifact_writes_total counter
+artifact_writes_total{kind="profile-trace"} 2
+# TYPE artifact_load_seconds histogram
+artifact_load_seconds_bucket{le="0.01"} 1
+artifact_load_seconds_bucket{le="0.1"} 1
+artifact_load_seconds_bucket{le="+Inf"} 1
+artifact_load_seconds_sum 0.002
+artifact_load_seconds_count 1
 `
 	if got := b.String(); got != want {
 		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

@@ -57,12 +57,17 @@ const (
 	// KindWorldStep codes.
 	CodeWorldSummary
 
-	// KindStage completion codes.
+	// KindStage completion codes. The resume codes journal the
+	// artifact-store skip funnel of a resumed campaign (a = shards served
+	// from the store, b = shards recomputed), always from input-ordered
+	// merge points so resumed journals stay replay-stable.
 	CodeStageProfilerWarmup
 	CodeStageProfilerRank
+	CodeStageProfilerResume
 	CodeStageFuzzerEvent
 	CodeStageFuzzerCover
 	CodeStageFuzzerCampaign
+	CodeStageFuzzerResume
 
 	// KindDaemon codes: tenant lifecycle transitions (a = tenant id),
 	// per-tenant shed/degradation incidents (b = event count, sub = the
@@ -118,9 +123,11 @@ var codeNames = [numCodes]string{
 
 	CodeStageProfilerWarmup: "stage:profiler-warmup",
 	CodeStageProfilerRank:   "stage:profiler-rank",
+	CodeStageProfilerResume: "stage:profiler-resume",
 	CodeStageFuzzerEvent:    "stage:fuzzer-event",
 	CodeStageFuzzerCover:    "stage:fuzzer-cover",
 	CodeStageFuzzerCampaign: "stage:fuzzer-campaign",
+	CodeStageFuzzerResume:   "stage:fuzzer-resume",
 
 	CodeTenantAttach:       "tenant:attach",
 	CodeTenantDrain:        "tenant:drain",

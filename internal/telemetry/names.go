@@ -35,6 +35,17 @@ const (
 	MetricAegisProtectMultiSkippedEventsTotal = "aegis_protect_multi_skipped_events_total"
 )
 
+// Versioned artifact store (internal/artifact): cache funnel, IO timing
+// and corruption signal for the offline-pipeline checkpoint files.
+const (
+	MetricArtifactCacheHitsTotal   = "artifact_cache_hits_total"
+	MetricArtifactCacheMissesTotal = "artifact_cache_misses_total"
+	MetricArtifactCorruptTotal     = "artifact_corrupt_total"
+	MetricArtifactLoadSeconds      = "artifact_load_seconds"
+	MetricArtifactWriteSeconds     = "artifact_write_seconds"
+	MetricArtifactWritesTotal      = "artifact_writes_total"
+)
+
 // Multi-tenant protection daemon (internal/daemon, cmd/aegisd).
 const (
 	MetricDaemonAttachesTotal        = "daemon_attaches_total"
@@ -76,6 +87,7 @@ const (
 	MetricFuzzerCoverSeconds               = "fuzzer_cover_seconds"
 	MetricFuzzerEventSeconds               = "fuzzer_event_seconds"
 	MetricFuzzerEventsSkippedTotal         = "fuzzer_events_skipped_total"
+	MetricFuzzerResumeEventsTotal          = "fuzzer_resume_events_total"
 	MetricFuzzerScreenMemoTotal            = "fuzzer_screen_memo_total"
 )
 
@@ -132,6 +144,7 @@ const (
 	MetricProfilerMiScoreSeconds       = "profiler_mi_score_seconds"
 	MetricProfilerRankDegenerateTotal  = "profiler_rank_degenerate_total"
 	MetricProfilerRankedEventsTotal    = "profiler_ranked_events_total"
+	MetricProfilerResumeShardsTotal    = "profiler_resume_shards_total"
 	MetricProfilerTraceCollectSeconds  = "profiler_trace_collect_seconds"
 	MetricProfilerWarmupFilteredTotal  = "profiler_warmup_filtered_total"
 	MetricProfilerWarmupRemainingTotal = "profiler_warmup_remaining_total"
