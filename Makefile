@@ -19,7 +19,7 @@ FUZZTIME ?= 5s
 # operator reaches for mid-incident, so their test coverage is gated.
 COVER_FLOOR ?= 85
 
-.PHONY: build test vet lint race fmt-check check fuzz bench bench-alloc bench-json bench-check cover e2e
+.PHONY: build test vet lint lint-sarif lint-audit race fmt-check check fuzz bench bench-alloc bench-json bench-check cover e2e
 
 # Pre-PR gate: everything `make check` runs must pass before a PR ships
 # (see ROADMAP.md "Engineering gates").
@@ -49,9 +49,24 @@ race:
 
 # Project-specific static analysis (exit 0 clean / 1 findings / 2 load
 # error). Rules and the //aegis:allow suppression contract are documented
-# in DESIGN.md "Mechanically enforced invariants".
+# in DESIGN.md "Mechanically enforced invariants". Per-package results are
+# cached as lint-result artifacts in lint.aegis-artifact/ (gitignored), so
+# a warm run re-analyzes only packages whose import-closure file contents
+# changed.
 lint:
-	$(GO) run ./cmd/aegis-lint ./...
+	$(GO) run ./cmd/aegis-lint -cache ./...
+
+# Same lint run rendered as SARIF 2.1.0 for GitHub code-scanning upload.
+# The file is written even when findings exist; the lint exit status is
+# preserved so the target still fails a dirty tree.
+lint-sarif:
+	@$(GO) run ./cmd/aegis-lint -sarif ./... > aegis-lint.sarif; \
+	status=$$?; echo "lint-sarif: wrote aegis-lint.sarif"; exit $$status
+
+# Machine-readable inventory of every //aegis:allow suppression: rule,
+# position, reason, and whether it still suppresses or prunes anything.
+lint-audit:
+	$(GO) run ./cmd/aegis-lint -audit ./...
 
 # gofmt over the same file walk the linter uses, so intentionally broken
 # fixtures under testdata/ are skipped by both.

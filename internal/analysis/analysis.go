@@ -29,26 +29,30 @@ import (
 
 // Diagnostic is one finding, positioned in the linted source tree.
 type Diagnostic struct {
-	Pos     token.Position
-	Rule    string
-	Message string
+	Pos     token.Position `json:"pos"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Pass carries one type-checked package through one rule.
+// Pass carries one type-checked package through one rule. Intra-procedural
+// rules use the package fields only; the interprocedural rules reach the
+// module-wide call graph through Prog.
 type Pass struct {
 	Fset  *token.FileSet
 	Path  string // import path of the package under analysis
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	Pkg   *Package // the package under analysis
+	Prog  *Program // the whole loaded program (nil in legacy single-package passes)
 
-	rule   string
-	sink   *[]Diagnostic
-	filter func(Diagnostic) bool
+	rule string
+	sink *[]Diagnostic
+	sup  *suppressions
 }
 
 // Reportf records a diagnostic at pos for the rule currently running.
@@ -58,10 +62,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Rule:    p.rule,
 		Message: fmt.Sprintf(format, args...),
 	}
-	if p.filter != nil && !p.filter(d) {
-		return
-	}
 	*p.sink = append(*p.sink, d)
+}
+
+// AllowedAt reports whether a valid //aegis:allow for the running rule
+// covers pos (same line or the line above) and marks that allow used. The
+// deep rules call this at call sites to prune traversal: an allowed edge
+// is cut out of the transitive closure entirely, which is how the
+// conservative dispatch over-approximation is relaxed site-by-site. A
+// pruning allow counts as used even when no diagnostic would have survived
+// the pruned subtree — proving that negative would require re-analyzing
+// without the allow.
+func (p *Pass) AllowedAt(pos token.Pos) bool {
+	if p.sup == nil {
+		return false
+	}
+	return p.sup.allowsAt(p.Fset.Position(pos), p.rule)
 }
 
 // Rule is one named check. Run inspects a single package and reports
@@ -83,9 +99,12 @@ const SuppressionRule = "suppression"
 func AllRules() []*Rule {
 	rules := []*Rule{
 		detrandRule,
+		detranddeepRule,
 		errwrapRule,
 		flightkindRule,
 		hotpathRule,
+		hotpathdeepRule,
+		lockjournalRule,
 		maprangeRule,
 		metricnameRule,
 	}
@@ -150,34 +169,58 @@ func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
 	return pkg != nil && pathHasSuffix(pkg.Path(), suffix)
 }
 
-// Analyze runs the given rules over the packages and returns the surviving
-// diagnostics sorted by position: rule findings minus suppressed sites,
-// plus suppression hygiene findings (malformed/unknown/reason-less/unused
-// allows). Suppression hygiene for a rule is only enforced when that rule
-// is in the run set, so a partial run does not flag allows belonging to
-// rules it skipped.
-func Analyze(pkgs []*Package, rules []*Rule) []Diagnostic {
-	running := make(map[string]bool, len(rules))
-	for _, r := range rules {
-		running[r.Name] = true
+// PackageResult is everything one package's analysis produces, shaped so
+// it can be cached per package and merged later: the surviving rule
+// diagnostics (which for deep rules may be positioned in dependency
+// files), the inventory of //aegis:allow comments in the package's own
+// files, and the keys of every allow the analysis marked used — including
+// allows in dependency files matched along call chains. Hygiene
+// (unused/malformed allows) is deliberately NOT computed here: whether an
+// allow is unused is a whole-run property (another package's analysis may
+// be the one using it), so Merge computes it from the union of used keys.
+type PackageResult struct {
+	Path        string        `json:"path"`
+	Diagnostics []Diagnostic  `json:"diagnostics"`
+	Allows      []AllowRecord `json:"allows"`
+	UsedKeys    []string      `json:"usedKeys"`
+}
+
+// AnalyzePackage runs the given rules over one package of the program and
+// returns its result. Suppressions are collected from the package's whole
+// module import closure before rules run, because interprocedural
+// diagnostics can land in — and be suppressed or pruned in — dependency
+// files. The result depends only on the package's import closure, never on
+// which other packages happen to be loaded; that independence is what
+// makes per-package caching sound.
+func AnalyzePackage(prog *Program, pkg *Package, rules []*Rule) PackageResult {
+	sup := &suppressions{}
+	closure := prog.Closure(pkg)
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if dep := prog.PackageByPath(p); dep != nil {
+			sup.collect(dep)
+		}
 	}
 
 	var all []Diagnostic
-	var sup suppressions
-	for _, pkg := range pkgs {
-		sup.collect(pkg)
-		for _, r := range rules {
-			pass := &Pass{
-				Fset:  pkg.Fset,
-				Path:  pkg.Path,
-				Files: pkg.Files,
-				Types: pkg.Types,
-				Info:  pkg.Info,
-				rule:  r.Name,
-				sink:  &all,
-			}
-			r.Run(pass)
+	for _, r := range rules {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Types: pkg.Types,
+			Info:  pkg.Info,
+			Pkg:   pkg,
+			Prog:  prog,
+			rule:  r.Name,
+			sink:  &all,
+			sup:   sup,
 		}
+		r.Run(pass)
 	}
 
 	kept := all[:0]
@@ -186,9 +229,95 @@ func Analyze(pkgs []*Package, rules []*Rule) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	kept = append(kept, sup.hygiene(running)...)
 	SortDiagnostics(kept)
-	return kept
+
+	own := make(map[string]bool, len(pkg.Filenames))
+	for _, f := range pkg.Filenames {
+		own[f] = true
+	}
+	return PackageResult{
+		Path:        pkg.Path,
+		Diagnostics: kept,
+		Allows:      sup.records(own),
+		UsedKeys:    sup.usedKeys(),
+	}
+}
+
+// Merge combines per-package results into the final diagnostic list:
+// the union of rule findings (deduplicated — two packages' analyses can
+// surface the same dependency-file finding) plus suppression hygiene
+// computed globally. Unused-ness of an allow is only judged for rules in
+// the running set, so a single-rule invocation does not flag allows
+// belonging to other rules — and only when complete is true, i.e. the
+// results cover every package of the program. A partial run cannot judge
+// unused-ness: an allow in a dependency is legitimately consumed by the
+// analysis of an importer that was not a target (e.g. a cold-guard allow
+// in internal/hpc used only when the daemon's hot path is traversed).
+// Malformed, unknown-rule, and reason-less allows are file-local facts
+// and are reported either way.
+func Merge(results []PackageResult, running map[string]bool, complete bool) []Diagnostic {
+	used := make(map[string]bool)
+	for _, r := range results {
+		for _, k := range r.UsedKeys {
+			used[k] = true
+		}
+	}
+
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, r := range results {
+		for _, d := range r.Diagnostics {
+			if key := d.String(); !seen[key] {
+				seen[key] = true
+				out = append(out, d)
+			}
+		}
+	}
+
+	for _, r := range results {
+		for _, a := range r.Allows {
+			report := func(format string, args ...any) {
+				out = append(out, Diagnostic{Pos: a.Pos, Rule: SuppressionRule,
+					Message: fmt.Sprintf(format, args...)})
+			}
+			switch {
+			case a.Malformed:
+				report("malformed suppression; want //aegis:allow(rule) reason")
+			case RuleByName(a.Rule) == nil:
+				report("suppression names unknown rule %q", a.Rule)
+			case a.Reason == "":
+				report("suppression of %q has no reason; state why the site is exempt", a.Rule)
+			case complete && running[a.Rule] && !used[a.Key()]:
+				report("unused suppression of %q; the site no longer trips the rule", a.Rule)
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// RunningSet returns the rule-name set of a rule slice, for Merge.
+func RunningSet(rules []*Rule) map[string]bool {
+	running := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		running[r.Name] = true
+	}
+	return running
+}
+
+// Analyze runs the given rules over the packages and returns the surviving
+// diagnostics sorted by position: rule findings minus suppressed sites,
+// plus suppression hygiene findings (malformed/unknown/reason-less/unused
+// allows). The packages form the analyzed program: for the interprocedural
+// rules to see through package boundaries, dependencies must be included
+// (the CLI passes the loader's full cache).
+func Analyze(pkgs []*Package, rules []*Rule) []Diagnostic {
+	prog := NewProgram(pkgs)
+	results := make([]PackageResult, 0, len(prog.Packages))
+	for _, pkg := range prog.Packages {
+		results = append(results, AnalyzePackage(prog, pkg, rules))
+	}
+	return Merge(results, RunningSet(rules), true)
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, rule, message.

@@ -9,7 +9,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+
+	"github.com/repro/aegis/internal/artifact"
 )
 
 // Exit codes of the aegis-lint CLI, asserted by cli_test.go and relied on
@@ -45,11 +48,15 @@ func CLI(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aegis-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (schema aegis-lint/v1)")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 for code-scanning upload")
+	audit := fs.Bool("audit", false, "emit a JSON inventory of every //aegis:allow (schema aegis-lint-audit/v1) instead of diagnostics")
+	cache := fs.Bool("cache", false, "cache per-package results as lint-result artifacts and reuse them on unchanged packages")
+	storeDir := fs.String("store", "", "artifact store directory for -cache (default <module root>/lint.aegis-artifact)")
 	gofmt := fs.Bool("gofmt", false, "check gofmt cleanliness over the same file walk instead of linting")
 	dir := fs.String("C", ".", "directory to resolve the module from")
 	listRules := fs.Bool("rules", false, "list the registered rules and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: aegis-lint [-json] [-gofmt] [-rules] [-C dir] [./...]\n")
+		fmt.Fprintf(stderr, "usage: aegis-lint [-json|-sarif|-audit] [-cache [-store dir]] [-gofmt] [-rules] [-C dir] [./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,8 +85,87 @@ func CLI(args []string, stdout, stderr io.Writer) int {
 	if code != ExitClean {
 		return code
 	}
-	diags := Analyze(pkgs, AllRules())
+
+	// The program spans every loaded package (requested plus dependencies)
+	// so the interprocedural rules see the whole import closure even when
+	// a single directory is requested; only the requested packages are
+	// analyzed and reported.
+	prog := NewProgram(loader.Loaded())
+	rules := AllRules()
+	results, code := analyzeTargets(prog, dedupe(pkgs), rules, root, *cache, *storeDir, stderr)
+	if code != ExitClean {
+		return code
+	}
+
+	if *audit {
+		if err := writeAudit(stdout, results, root); err != nil {
+			fmt.Fprintf(stderr, "aegis-lint: %v\n", err)
+			return ExitLoadError
+		}
+		return ExitClean
+	}
+
+	// Unused-suppression hygiene is only judged when every package of the
+	// program was a target (a ./... run); see Merge.
+	diags := Merge(results, RunningSet(rules), len(results) == len(prog.Packages))
+	if *sarifOut {
+		if err := WriteSARIF(stdout, diags, rules, root); err != nil {
+			fmt.Fprintf(stderr, "aegis-lint: %v\n", err)
+			return ExitLoadError
+		}
+		if len(diags) > 0 {
+			return ExitFindings
+		}
+		return ExitClean
+	}
 	return emit(diags, root, *jsonOut, stdout, stderr)
+}
+
+// dedupe drops repeated packages (overlapping patterns) preserving a
+// deterministic path order.
+func dedupe(pkgs []*Package) []*Package {
+	seen := make(map[string]bool, len(pkgs))
+	out := pkgs[:0:0]
+	for _, p := range pkgs {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// analyzeTargets produces one PackageResult per requested package, going
+// through the lint-result artifact cache when enabled. The hit/miss
+// funnel is reported to stderr so CI can assert a warm run is all-hit.
+func analyzeTargets(prog *Program, pkgs []*Package, rules []*Rule, root string, cache bool, storeDir string, stderr io.Writer) ([]PackageResult, int) {
+	results := make([]PackageResult, 0, len(pkgs))
+	if !cache {
+		for _, pkg := range pkgs {
+			results = append(results, AnalyzePackage(prog, pkg, rules))
+		}
+		return results, ExitClean
+	}
+	if storeDir == "" {
+		storeDir = filepath.Join(root, "lint.aegis-artifact")
+	}
+	store, err := artifact.Open(storeDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "aegis-lint: %v\n", err)
+		return nil, ExitLoadError
+	}
+	var stats CacheStats
+	for _, pkg := range pkgs {
+		res, err := AnalyzeCachedPackage(prog, pkg, rules, store, root, &stats)
+		if err != nil {
+			fmt.Fprintf(stderr, "aegis-lint: %v\n", err)
+			return nil, ExitLoadError
+		}
+		results = append(results, res)
+	}
+	fmt.Fprintf(stderr, "aegis-lint: lint-result cache: %d hit, %d miss\n", stats.Hits, stats.Misses)
+	return results, ExitClean
 }
 
 // loadPatterns resolves the package patterns (default "./...") against the

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Tests for the v2 CLI surface: SARIF output, the lint-result artifact
+// cache, and the -audit suppression inventory.
+
+func TestCLISARIF(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go": dirtyFuzzer,
+	})
+	code, stdout, stderr := runCLI(t, "-C", root, "-sarif", "./...")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitFindings, stderr)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, stdout)
+	}
+	if doc.Version != SARIFVersion {
+		t.Errorf("version = %q, want %q", doc.Version, SARIFVersion)
+	}
+	if doc.Schema == "" || len(doc.Runs) != 1 {
+		t.Fatalf("want $schema and exactly one run, got schema=%q runs=%d", doc.Schema, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "aegis-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) < len(AllRules()) {
+		t.Errorf("driver lists %d rules, want at least %d", len(run.Tool.Driver.Rules), len(AllRules()))
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a dirty tree")
+	}
+	r := run.Results[0]
+	if r.RuleID != "detrand" || r.Level != "error" || r.Message.Text == "" {
+		t.Errorf("unexpected first result: %+v", r)
+	}
+	if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+		run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+		t.Errorf("ruleIndex %d does not resolve to %q in the driver rules", r.RuleIndex, r.RuleID)
+	}
+	if len(r.Locations) != 1 {
+		t.Fatalf("result has %d locations, want 1", len(r.Locations))
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/fuzzer/fz.go" {
+		t.Errorf("uri = %q, want repo-relative internal/fuzzer/fz.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 5 || loc.Region.StartColumn == 0 {
+		t.Errorf("region = %+v, want line 5 with a column", loc.Region)
+	}
+}
+
+func TestCLISARIFCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.21\n",
+		"internal/clean/c.go": cleanFile,
+	})
+	code, stdout, _ := runCLI(t, "-C", root, "-sarif", "./...")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	if !strings.Contains(stdout, `"results": []`) {
+		t.Errorf("clean SARIF run should carry an empty results array, not null:\n%s", stdout)
+	}
+}
+
+func TestCLICacheWarmRunIsAllHitAndByteIdentical(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go": dirtyFuzzer,
+		"internal/clean/c.go":   cleanFile,
+	})
+	store := filepath.Join(root, "lint.aegis-artifact")
+
+	code1, out1, err1 := runCLI(t, "-C", root, "-cache", "-store", store, "./...")
+	if code1 != ExitFindings {
+		t.Fatalf("cold exit = %d, want %d\nstderr: %s", code1, ExitFindings, err1)
+	}
+	if !strings.Contains(err1, "0 hit, 2 miss") {
+		t.Errorf("cold run funnel = %q, want 0 hit, 2 miss", err1)
+	}
+
+	code2, out2, err2 := runCLI(t, "-C", root, "-cache", "-store", store, "./...")
+	if code2 != ExitFindings {
+		t.Fatalf("warm exit = %d, want %d", code2, ExitFindings)
+	}
+	if !strings.Contains(err2, "2 hit, 0 miss") {
+		t.Errorf("warm run funnel = %q, want 2 hit, 0 miss", err2)
+	}
+	if out1 != out2 {
+		t.Errorf("warm run diagnostics differ from cold run:\n--- cold\n%s--- warm\n%s", out1, out2)
+	}
+
+	// Editing one package re-analyzes only it; the untouched package hits.
+	if err := os.WriteFile(filepath.Join(root, "internal/clean/c.go"),
+		[]byte(cleanFile+"\nfunc Add2(a, b int) int { return a + b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code3, _, err3 := runCLI(t, "-C", root, "-cache", "-store", store, "./...")
+	if code3 != ExitFindings {
+		t.Fatalf("post-edit exit = %d, want %d", code3, ExitFindings)
+	}
+	if !strings.Contains(err3, "1 hit, 1 miss") {
+		t.Errorf("post-edit funnel = %q, want 1 hit, 1 miss", err3)
+	}
+}
+
+func TestCLICacheInvalidatesDependents(t *testing.T) {
+	// dep is imported by app: editing dep must re-analyze both, because
+	// the interprocedural rules read through the import closure.
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module tmpmod\n\ngo 1.21\n",
+		"dep/d.go":   "package dep\n\nfunc D() int { return 1 }\n",
+		"app/a.go":   "package app\n\nimport \"tmpmod/dep\"\n\nfunc A() int { return dep.D() }\n",
+		"other/o.go": "package other\n\nfunc O() {}\n",
+	})
+	store := filepath.Join(root, "lint.aegis-artifact")
+	if code, _, err1 := runCLI(t, "-C", root, "-cache", "-store", store, "./..."); code != ExitClean {
+		t.Fatalf("cold exit = %d\nstderr: %s", code, err1)
+	}
+	if err := os.WriteFile(filepath.Join(root, "dep/d.go"),
+		[]byte("package dep\n\nfunc D() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err2 := runCLI(t, "-C", root, "-cache", "-store", store, "./...")
+	if !strings.Contains(err2, "1 hit, 2 miss") {
+		t.Errorf("after dep edit funnel = %q, want 1 hit, 2 miss (dep and app re-analyzed, other hits)", err2)
+	}
+}
+
+const suppressedFuzzer = `package fuzzer
+
+import "time"
+
+//aegis:allow(detrand) wall-clock feeds telemetry only, never simulation state
+var T = time.Now()
+`
+
+func TestCLIAudit(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n\ngo 1.21\n",
+		"internal/fuzzer/fz.go": suppressedFuzzer,
+		"internal/clean/c.go": "package clean\n\n" +
+			"//aegis:allow(errwrap) stale suppression retained to exercise the audit\n" +
+			"func Add(a, b int) int { return a + b }\n",
+	})
+	code, stdout, stderr := runCLI(t, "-C", root, "-audit", "./...")
+	if code != ExitClean {
+		t.Fatalf("audit exit = %d, want %d\nstderr: %s", code, ExitClean, stderr)
+	}
+	var report struct {
+		Schema  string `json:"schema"`
+		Root    string `json:"root"`
+		Ruleset string `json:"ruleset"`
+		Allows  []struct {
+			Rule   string `json:"rule"`
+			File   string `json:"file"`
+			Line   int    `json:"line"`
+			Reason string `json:"reason"`
+			Active bool   `json:"active"`
+		} `json:"allows"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("invalid audit JSON: %v\n%s", err, stdout)
+	}
+	if report.Schema != AuditSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, AuditSchema)
+	}
+	if report.Root != root || report.Ruleset == "" {
+		t.Errorf("root/ruleset = %q/%q", report.Root, report.Ruleset)
+	}
+	if len(report.Allows) != 2 {
+		t.Fatalf("audit lists %d allows, want 2:\n%s", len(report.Allows), stdout)
+	}
+	byRule := map[string]int{}
+	for i, a := range report.Allows {
+		byRule[a.Rule] = i
+		if a.Reason == "" || a.Line == 0 {
+			t.Errorf("allow %d missing reason/line: %+v", i, a)
+		}
+	}
+	if a := report.Allows[byRule["detrand"]]; !a.Active || a.File != "internal/fuzzer/fz.go" {
+		t.Errorf("detrand allow should be active in internal/fuzzer/fz.go: %+v", a)
+	}
+	if a := report.Allows[byRule["errwrap"]]; a.Active {
+		t.Errorf("stale errwrap allow should be inactive: %+v", a)
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/repro/aegis/internal/artifact"
+)
+
+// Incremental linting: per-package results are cached in the PR-9
+// artifact store under the "lint-result" kind, content-addressed by
+// everything that can change the package's analysis — the rule-set
+// version and names, the package identity, and the file contents of the
+// package plus its whole transitive module import closure. The closure is
+// in the address because the interprocedural rules see through package
+// boundaries: editing a dependency must re-analyze its dependents, while
+// the cached result of an untouched subtree stays valid. A warm run with
+// no edits is therefore all-hit and byte-identical to a cold one; an edit
+// re-analyzes exactly the packages whose closure contains the edited
+// file.
+
+// LintResultKind is the artifact kind under which per-package lint
+// results are cached (see the artifact-kind table in DESIGN.md).
+const LintResultKind = "lint-result"
+
+// lintRulesetVersion versions the rule implementations for cache
+// invalidation: bump it whenever any rule's logic or message format
+// changes, since cached diagnostics embed rendered messages.
+const lintRulesetVersion = "aegis-lint-rules/v2"
+
+// lintFingerprint content-addresses one package's analysis inputs.
+func lintFingerprint(prog *Program, pkg *Package, rules []*Rule) (string, error) {
+	f := artifact.NewFingerprint(LintResultKind)
+	f.String("ruleset", lintRulesetVersion)
+	for _, r := range rules {
+		f.String("rule", r.Name)
+	}
+	f.String("package", pkg.Path)
+	closure := prog.Closure(pkg)
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		dep := prog.PackageByPath(p)
+		if dep == nil {
+			continue
+		}
+		f.String("dep", dep.Path)
+		for _, name := range dep.Filenames {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return "", fmt.Errorf("fingerprinting %s: %w", pkg.Path, err)
+			}
+			f.String("file", filepath.Base(name))
+			f.Bytes("content", data)
+		}
+	}
+	return f.Sum(), nil
+}
+
+// relocatePath maps an absolute file name under root to a slash-separated
+// relative one, so cached results survive a checkout move.
+func relocatePath(name, root string) string {
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return name
+}
+
+// unrelocatePath is the inverse of relocatePath.
+func unrelocatePath(name, root string) string {
+	if filepath.IsAbs(name) {
+		return name
+	}
+	return filepath.Join(root, filepath.FromSlash(name))
+}
+
+// mapKeyFile rewrites the file component of a "file:line:rule" used-key.
+func mapKeyFile(key string, fn func(string) string) string {
+	i := strings.LastIndexByte(key, ':')
+	if i < 0 {
+		return key
+	}
+	j := strings.LastIndexByte(key[:i], ':')
+	if j < 0 {
+		return key
+	}
+	return fn(key[:j]) + key[j:]
+}
+
+// relocateResult maps every path in a PackageResult through fn.
+func relocateResult(res PackageResult, fn func(string) string) PackageResult {
+	out := res
+	out.Diagnostics = make([]Diagnostic, len(res.Diagnostics))
+	for i, d := range res.Diagnostics {
+		d.Pos.Filename = fn(d.Pos.Filename)
+		out.Diagnostics[i] = d
+	}
+	out.Allows = make([]AllowRecord, len(res.Allows))
+	for i, a := range res.Allows {
+		a.Pos.Filename = fn(a.Pos.Filename)
+		out.Allows[i] = a
+	}
+	out.UsedKeys = make([]string, len(res.UsedKeys))
+	for i, k := range res.UsedKeys {
+		out.UsedKeys[i] = mapKeyFile(k, fn)
+	}
+	return out
+}
+
+// encodeLintResult packs one package's result into a lint-result
+// artifact; paths are stored relative to root.
+func encodeLintResult(res PackageResult, root, fingerprint string) (*artifact.Artifact, error) {
+	rel := relocateResult(res, func(p string) string { return relocatePath(p, root) })
+	data, err := json.Marshal(rel)
+	if err != nil {
+		return nil, fmt.Errorf("encoding lint result for %s: %w", res.Path, err)
+	}
+	a := artifact.New(LintResultKind, fingerprint)
+	a.Meta["package"] = res.Path
+	a.Meta["ruleset"] = lintRulesetVersion
+	a.Meta["diagnostics"] = strconv.Itoa(len(res.Diagnostics))
+	a.Meta["result"] = string(data)
+	return a, nil
+}
+
+// decodeLintResult unpacks a cached result, rehydrating paths under root.
+func decodeLintResult(a *artifact.Artifact, root string) (PackageResult, error) {
+	var rel PackageResult
+	if err := json.Unmarshal([]byte(a.Meta["result"]), &rel); err != nil {
+		return PackageResult{}, fmt.Errorf("decoding lint result: %w", err)
+	}
+	return relocateResult(rel, func(p string) string { return unrelocatePath(p, root) }), nil
+}
+
+// CacheStats reports one cached run's hit/miss funnel.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// AnalyzeCachedPackage returns one package's result, from the store when
+// the fingerprint hits and by running the rules (then populating the
+// store) when it misses. A corrupt or undecodable artifact is a miss,
+// mirroring the store's own torn-file policy.
+func AnalyzeCachedPackage(prog *Program, pkg *Package, rules []*Rule, store *artifact.Store, root string, stats *CacheStats) (PackageResult, error) {
+	fp, err := lintFingerprint(prog, pkg, rules)
+	if err != nil {
+		return PackageResult{}, err
+	}
+	if a, ok := store.Get(LintResultKind, fp); ok {
+		if res, err := decodeLintResult(a, root); err == nil {
+			stats.Hits++
+			return res, nil
+		}
+	}
+	stats.Misses++
+	res := AnalyzePackage(prog, pkg, rules)
+	a, err := encodeLintResult(res, root, fp)
+	if err != nil {
+		return PackageResult{}, err
+	}
+	if err := store.Put(a); err != nil {
+		return PackageResult{}, fmt.Errorf("caching lint result for %s: %w", pkg.Path, err)
+	}
+	return res, nil
+}

@@ -18,12 +18,14 @@ import (
 
 // Package is one parsed and type-checked package from the linted tree.
 type Package struct {
-	Path  string // import path
-	Dir   string // absolute directory
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string   // import path
+	Dir       string   // absolute directory
+	Module    string   // import path of the enclosing module
+	Filenames []string // absolute paths of the parsed files, sorted
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // Loader discovers, parses, and type-checks packages under a module root.
@@ -184,6 +186,7 @@ func (l *Loader) LoadDir(rel string) (*Package, error) {
 	}
 	var files []*ast.File
 	var names []string
+	var fullNames []string
 	for _, e := range entries {
 		if e.IsDir() || !isGoFile(e.Name()) || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
@@ -192,11 +195,13 @@ func (l *Loader) LoadDir(rel string) (*Package, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		fullNames = append(fullNames, full)
 	}
 	if len(files) == 0 {
 		return nil, nil
@@ -218,15 +223,29 @@ func (l *Loader) LoadDir(rel string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %w", importPath, errors.Join(typeErrs...))
 	}
 	pkg := &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:      importPath,
+		Dir:       dir,
+		Module:    l.Module,
+		Filenames: fullNames,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// Loaded returns every package currently in the loader's cache (requested
+// packages plus their module-internal dependencies), sorted by import
+// path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Import implements types.Importer: module-internal paths load from the

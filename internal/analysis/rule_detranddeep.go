@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detranddeepRule extends the detrand contract interprocedurally: a
+// deterministic package must not *transitively* reach wall-clock reads,
+// global math/rand draws, environment reads, or select-with-default
+// through helpers in non-deterministic packages — the laundering pattern
+// the intra-procedural rule is blind to.
+//
+// Traversal policy:
+//
+//   - Every function of the analyzed deterministic package is a root;
+//     closure and go-statement edges are followed (the closure runs
+//     eventually, and a goroutine's output still feeds the deterministic
+//     result).
+//   - Edges into *other* deterministic packages are not followed: those
+//     packages carry the same contract and are analyzed on their own, so
+//     re-walking them would only duplicate diagnostics.
+//   - Edges into the exempt infrastructure packages (detrandDeepExempt)
+//     are not followed: telemetry, the flight journal, the parallel
+//     runner, the artifact store and the ops server read the clock for
+//     latency/observability only, under their own documented contracts
+//     ("timing feeds histograms, never values").
+//   - Sinks found in reached non-deterministic module functions are
+//     reported with the full call chain ("~>" marks conservative
+//     interface dispatch). Function-value calls in reached functions are
+//     reported conservatively. Both prune under
+//     //aegis:allow(detranddeep) at the call-site line.
+//   - Environment reads (os.Getenv/LookupEnv/Environ) are additionally
+//     reported at depth 0 in the deterministic package itself, because
+//     detrand does not police them.
+var detranddeepRule = &Rule{
+	Name: "detranddeep",
+	Doc:  "deterministic packages must not transitively reach clock, rand, env, or racing select",
+	Run:  runDetranddeep,
+}
+
+// detrandDeepExempt lists infrastructure package suffixes whose clock use
+// is timing-only by contract; deep traversal stops at their boundary.
+var detrandDeepExempt = []string{
+	"internal/telemetry",
+	"internal/telemetry/flight",
+	"internal/parallel",
+	"internal/artifact",
+	"internal/ops",
+}
+
+func isDetrandDeepExempt(path string) bool {
+	for _, suffix := range detrandDeepExempt {
+		if pathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// envReadFuncs are the os functions that read the process environment.
+var envReadFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+func runDetranddeep(pass *Pass) {
+	if pass.Prog == nil || !IsDeterministicPackage(pass.Path) {
+		return
+	}
+	g := pass.Prog.CallGraph()
+	module := pass.Pkg.Module
+
+	// Depth-0 environment reads in the deterministic package itself.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && envReadFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "os.%s read in deterministic package %s; outputs must be pure functions of (seed, config)",
+					obj.Name(), lastElem(pass.Path))
+			}
+			return true
+		})
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if root := g.Node(fn); root != nil {
+				deepCheckDetrand(pass, root, module, reported)
+			}
+		}
+	}
+}
+
+func deepCheckDetrand(pass *Pass, root *Node, module string, reported map[token.Pos]bool) {
+	type item struct {
+		n     *Node
+		chain []chainHop
+	}
+	visited := map[*Node]bool{root: true}
+	queue := []item{{root, []chainHop{{n: root}}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range it.n.Edges {
+			callee := e.Callee
+			if callee.Pkg != pass.Pkg {
+				// Other deterministic packages carry the same contract and
+				// are analyzed on their own; exempt infrastructure is
+				// timing-only by documented contract.
+				if IsDeterministicPackage(callee.Pkg.Path) || isDetrandDeepExempt(callee.Pkg.Path) {
+					continue
+				}
+			}
+			if pass.AllowedAt(e.Pos) {
+				continue
+			}
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			chain := extendChain(it.chain, callee, e.Dynamic)
+			if callee.Pkg != pass.Pkg {
+				scanNondetSinks(callee.Pkg.Info, callee.Decl, func(pos token.Pos, desc string) {
+					if reported[pos] {
+						return
+					}
+					reported[pos] = true
+					pass.Reportf(pos, "deterministic package %s transitively reaches %s (call chain: %s)",
+						lastElem(pass.Path), desc, chainString(chain, module))
+				})
+				for _, ds := range callee.Dynamic {
+					if reported[ds.Pos] || pass.AllowedAt(ds.Pos) {
+						continue
+					}
+					reported[ds.Pos] = true
+					pass.Reportf(ds.Pos, "deterministic package %s reaches a call of function value %s whose determinism cannot be established (call chain: %s)",
+						lastElem(pass.Path), ds.Expr, chainString(chain, module))
+				}
+			}
+			queue = append(queue, item{callee, chain})
+		}
+	}
+}
+
+// scanNondetSinks walks one function body (including func-literal bodies)
+// reporting every nondeterminism source the detrand contract bans, as
+// (position, description) pairs.
+func scanNondetSinks(info *types.Info, fd *ast.FuncDecl, report func(pos token.Pos, desc string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj, ok := info.Uses[n.Sel]
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if clockFuncs[obj.Name()] {
+					report(n.Pos(), fmt.Sprintf("time.%s", obj.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFn := obj.(*types.Func); isFn && !randConstructors[obj.Name()] {
+					report(n.Pos(), fmt.Sprintf("a global math/rand draw (rand.%s)", obj.Name()))
+				}
+			case "os":
+				if envReadFuncs[obj.Name()] {
+					report(n.Pos(), fmt.Sprintf("os.%s", obj.Name()))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					report(n.Pos(), "a select with a default clause (races goroutine scheduling)")
+				}
+			}
+		}
+		return true
+	})
+}

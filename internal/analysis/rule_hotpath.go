@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -25,7 +27,8 @@ import (
 //
 // The annotation is load-bearing documentation: every function gated by a
 // TestZeroAlloc* benchmark carries it, so the dynamic gate and this rule
-// police the same set.
+// police the same set. The hotpathdeep rule extends the same op scan to
+// everything an annotated function transitively calls.
 var hotpathRule = &Rule{
 	Name: "hotpath",
 	Doc:  "functions annotated //aegis:hotpath must avoid allocating constructs",
@@ -45,11 +48,17 @@ const HotpathAnnotation = "//aegis:hotpath"
 // isHotpathAnnotated reports whether the function declaration carries the
 // //aegis:hotpath directive in its doc comment.
 func isHotpathAnnotated(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
+	return hasDirective(fd, HotpathAnnotation)
+}
+
+// hasDirective reports whether the function declaration carries the given
+// //aegis:* directive in its doc comment.
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd == nil || fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if c.Text == HotpathAnnotation || strings.HasPrefix(c.Text, HotpathAnnotation+" ") {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
 			return true
 		}
 	}
@@ -63,69 +72,77 @@ func runHotpath(pass *Pass) {
 			if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
 				continue
 			}
-			checkHotpathBody(pass, fd)
+			scanAllocOps(pass.Info, fd, func(pos token.Pos, op string) {
+				pass.Reportf(pos, "hot path %s %s", fd.Name.Name, op)
+			})
 		}
 	}
 }
 
-func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+// scanAllocOps walks one function body reporting every allocating
+// construct the hot-path contract bans, as (position, op description)
+// pairs. It is shared between the intra-procedural hotpath rule (which
+// prefixes "hot path <fn>") and hotpathdeep (which appends the call
+// chain). Func-literal bodies are not descended: the literal itself is
+// reported, and its body is cold until invoked.
+func scanAllocOps(info *types.Info, fd *ast.FuncDecl, report func(pos token.Pos, op string)) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "hot path %s constructs a closure; closures heap-allocate their captures", fd.Name.Name)
+			report(n.Pos(), "constructs a closure; closures heap-allocate their captures")
 			return false // the literal's body is cold until invoked
 		case *ast.CompositeLit:
-			if tv, ok := pass.Info.Types[n]; ok {
+			if tv, ok := info.Types[n]; ok {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					pass.Reportf(n.Pos(), "hot path %s constructs a map literal; maps heap-allocate", fd.Name.Name)
+					report(n.Pos(), "constructs a map literal; maps heap-allocate")
 				}
 			}
 		case *ast.CallExpr:
-			checkHotpathCall(pass, fd, n)
+			scanAllocCall(info, fd, n, report)
 		}
 		return true
 	})
 }
 
-func checkHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func scanAllocCall(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, report func(pos token.Pos, op string)) {
 	// fmt formatting calls.
-	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
 		fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
-		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s, which allocates; move formatting off the steady-state path or suppress a cold branch with a reason", fd.Name.Name, fn.Name())
+		report(call.Pos(), fmt.Sprintf("calls fmt.%s, which allocates; move formatting off the steady-state path or suppress a cold branch with a reason", fn.Name()))
 		return
 	}
 	// make(map[...]...).
-	if isBuiltin(pass.Info, call, "make") && len(call.Args) > 0 {
-		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+	if isBuiltin(info, call, "make") && len(call.Args) > 0 {
+		if tv, ok := info.Types[call.Args[0]]; ok {
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-				pass.Reportf(call.Pos(), "hot path %s constructs a map with make; maps heap-allocate", fd.Name.Name)
+				report(call.Pos(), "constructs a map with make; maps heap-allocate")
 			}
 		}
 		return
 	}
 	// append to a destination that escapes the function.
-	if isBuiltin(pass.Info, call, "append") && len(call.Args) > 0 {
-		if dst, desc := nonLocalAppendDst(pass, fd, call.Args[0]); dst {
-			pass.Reportf(call.Pos(), "hot path %s appends to %s %s; growth allocates — reuse receiver- or caller-owned scratch instead", fd.Name.Name, desc, types.ExprString(call.Args[0]))
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		if dst, desc := nonLocalAppendDst(info, fd, call.Args[0]); dst {
+			report(call.Pos(), fmt.Sprintf("appends to %s %s; growth allocates — reuse receiver- or caller-owned scratch instead", desc, types.ExprString(call.Args[0])))
 		}
 		return
 	}
 	// []byte <-> string conversions.
-	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
-		if argTV, ok := pass.Info.Types[call.Args[0]]; ok {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if argTV, ok := info.Types[call.Args[0]]; ok {
 			to, from := tv.Type, argTV.Type
 			if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
-				pass.Reportf(call.Pos(), "hot path %s converts %s to %s, which copies", fd.Name.Name, from, to)
+				report(call.Pos(), fmt.Sprintf("converts %s to %s, which copies", from, to))
 			}
 		}
 	}
 }
 
 // nonLocalAppendDst reports whether the append destination lives outside
-// the annotated function (field, package-level, or captured variable) and
+// the enclosing function (field, package-level, or captured variable) and
 // describes it. Slice and paren expressions are unwrapped so the
 // `append(x[:0], ...)` reslice idiom is judged by its base.
-func nonLocalAppendDst(pass *Pass, fd *ast.FuncDecl, dst ast.Expr) (bool, string) {
+func nonLocalAppendDst(info *types.Info, fd *ast.FuncDecl, dst ast.Expr) (bool, string) {
 	for {
 		switch d := dst.(type) {
 		case *ast.ParenExpr:
@@ -133,9 +150,9 @@ func nonLocalAppendDst(pass *Pass, fd *ast.FuncDecl, dst ast.Expr) (bool, string
 		case *ast.SliceExpr:
 			dst = d.X
 		case *ast.Ident:
-			v, ok := pass.Info.Uses[d].(*types.Var)
+			v, ok := info.Uses[d].(*types.Var)
 			if !ok {
-				if _, ok := pass.Info.Defs[d]; ok {
+				if _, ok := info.Defs[d]; ok {
 					return false, "" // := defines a fresh local
 				}
 				return false, ""

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathdeepRule extends the intra-procedural hotpath contract to the
+// transitive closure: everything an //aegis:hotpath function reaches
+// through static calls (and, conservatively, interface dispatch) must be
+// free of the same allocating constructs, so the static gate finally
+// matches what `make bench-alloc` measures dynamically.
+//
+// Traversal policy, per the call-graph construction rules in callgraph.go:
+//
+//   - Edges lexically inside func literals are skipped: the intra rule
+//     already flags closure construction on hot paths, and the literal's
+//     body is cold until invoked.
+//   - Edges launched by go statements are skipped: a spawned goroutine's
+//     allocations are not the hot path's synchronous work (and spawning
+//     from a hot path is visible to the dynamic gate).
+//   - Callees that are themselves //aegis:hotpath are traversed through
+//     but not re-scanned — the intra rule owns their bodies, and scanning
+//     twice would double-report.
+//   - Interface-dispatch edges are followed (marked "~>" in the reported
+//     chain); a call of a bare function value cannot be resolved at all
+//     and is reported conservatively.
+//   - An //aegis:allow(hotpathdeep) on a call-site line prunes that edge
+//     (or silences that dynamic site) out of the closure.
+//
+// Each forbidden op is reported once, with the shortest call chain from
+// the first hot root (in file order) that reaches it.
+var hotpathdeepRule = &Rule{
+	Name: "hotpathdeep",
+	Doc:  "the transitive closure of //aegis:hotpath functions must avoid allocating constructs",
+	Run:  runHotpathdeep,
+}
+
+func runHotpathdeep(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	g := pass.Prog.CallGraph()
+	module := pass.Pkg.Module
+	reported := make(map[token.Pos]bool)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if root := g.Node(fn); root != nil {
+				deepCheckHotpath(pass, g, root, module, reported)
+			}
+		}
+	}
+}
+
+func deepCheckHotpath(pass *Pass, g *CallGraph, root *Node, module string, reported map[token.Pos]bool) {
+	type item struct {
+		n     *Node
+		chain []chainHop
+	}
+	rootChain := []chainHop{{n: root}}
+
+	// The intra rule cannot see through a function-value call in the root
+	// either; report those sites conservatively here.
+	reportHotpathDynSites(pass, root, rootChain, module, reported)
+
+	visited := map[*Node]bool{root: true}
+	queue := []item{{root, rootChain}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range it.n.Edges {
+			if e.InClosure || e.Async {
+				continue
+			}
+			if pass.AllowedAt(e.Pos) {
+				continue
+			}
+			callee := e.Callee
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			chain := extendChain(it.chain, callee, e.Dynamic)
+			if !isHotpathAnnotated(callee.Decl) {
+				scanAllocOps(callee.Pkg.Info, callee.Decl, func(pos token.Pos, op string) {
+					if reported[pos] {
+						return
+					}
+					reported[pos] = true
+					pass.Reportf(pos, "%s %s on the hot path (call chain: %s)",
+						shortFuncName(callee, module), op, chainString(chain, module))
+				})
+				reportHotpathDynSites(pass, callee, chain, module, reported)
+			}
+			queue = append(queue, item{callee, chain})
+		}
+	}
+}
+
+// reportHotpathDynSites conservatively reports calls of function-typed
+// values reached on a hot path: the callee cannot be resolved statically,
+// so it may allocate.
+func reportHotpathDynSites(pass *Pass, n *Node, chain []chainHop, module string, reported map[token.Pos]bool) {
+	for _, ds := range n.Dynamic {
+		if ds.InClosure || ds.Async || reported[ds.Pos] {
+			continue
+		}
+		if pass.AllowedAt(ds.Pos) {
+			continue
+		}
+		reported[ds.Pos] = true
+		pass.Reportf(ds.Pos, "%s calls function value %s on the hot path; the callee cannot be resolved statically and may allocate (call chain: %s)",
+			shortFuncName(n, module), ds.Expr, chainString(chain, module))
+	}
+}

@@ -24,6 +24,14 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) < 5 {
 		t.Fatalf("suspiciously few packages loaded (%d); walk is broken", len(pkgs))
 	}
+	// The self-check must include the interprocedural rules: if one is
+	// ever dropped from the registry, this clean-tree run would silently
+	// stop proving the deep contracts.
+	for _, name := range []string{"hotpathdeep", "detranddeep", "lockjournal"} {
+		if RuleByName(name) == nil {
+			t.Fatalf("call-graph rule %q missing from AllRules", name)
+		}
+	}
 	diags := Analyze(pkgs, AllRules())
 	for _, d := range diags {
 		t.Errorf("%s", d)

@@ -20,16 +20,40 @@ type allow struct {
 	used   bool
 }
 
-// suppressions indexes every allow comment in the analyzed packages by
-// (file, line) so diagnostics can be matched against the same line or the
-// line directly below the comment.
+// key identifies an allow stably across separate analysis runs: the deep
+// rules can mark a dependency file's allow used while analyzing a
+// downstream package, and Merge unions these keys before judging
+// unused-ness.
+func (a *allow) key() string {
+	return fmt.Sprintf("%s:%d:%s", a.pos.Filename, a.pos.Line, a.rule)
+}
+
+// AllowRecord is the exported inventory form of one //aegis:allow comment,
+// used by Merge for hygiene and by `aegis-lint -audit` for review.
+type AllowRecord struct {
+	Pos       token.Position `json:"pos"`
+	Rule      string         `json:"rule"`
+	Reason    string         `json:"reason"`
+	Malformed bool           `json:"malformed,omitempty"`
+}
+
+// Key returns the record's cross-run identity (file:line:rule).
+func (r AllowRecord) Key() string {
+	return fmt.Sprintf("%s:%d:%s", r.Pos.Filename, r.Pos.Line, r.Rule)
+}
+
+// suppressions indexes every allow comment visible to one package's
+// analysis — the package's own files plus its module import closure, since
+// interprocedural diagnostics can land in dependency files — by (file,
+// line) so diagnostics can be matched against the same line or the line
+// directly below the comment.
 type suppressions struct {
 	byLine map[string]map[int][]*allow // file -> line -> allows
-	order  []*allow                    // discovery order for hygiene reports
+	order  []*allow                    // discovery order for inventory
 }
 
 // collect scans a package's comments for aegis:allow directives. Malformed
-// directives (missing parens) are recorded as invalid so hygiene() can
+// directives (missing parens) are recorded as invalid so hygiene can
 // report them.
 func (s *suppressions) collect(pkg *Package) {
 	if s.byLine == nil {
@@ -78,25 +102,50 @@ func (s *suppressions) suppresses(d Diagnostic) bool {
 	return hit
 }
 
-// hygiene reports malformed, unknown-rule, reason-less, and unused allow
-// comments. Unused-ness is only judged for rules in the running set, so a
-// single-rule invocation does not flag allows belonging to other rules.
-func (s *suppressions) hygiene(running map[string]bool) []Diagnostic {
-	var out []Diagnostic
-	report := func(a *allow, format string, args ...any) {
-		out = append(out, Diagnostic{Pos: a.pos, Rule: SuppressionRule,
-			Message: fmt.Sprintf(format, args...)})
+// allowsAt reports whether a valid allow for rule covers the given
+// position (same line or line above) and marks it used. The deep rules
+// use this to prune call-graph traversal at explicitly-allowed call
+// sites.
+func (s *suppressions) allowsAt(pos token.Position, rule string) bool {
+	lines := s.byLine[pos.Filename]
+	hit := false
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.valid && a.rule == rule {
+				a.used = true
+				hit = true
+			}
+		}
 	}
+	return hit
+}
+
+// records returns the inventory of allows found in the given files
+// (a package's own sources), in discovery order.
+func (s *suppressions) records(ownFiles map[string]bool) []AllowRecord {
+	var out []AllowRecord
 	for _, a := range s.order {
-		switch {
-		case a.rule == "":
-			report(a, "malformed suppression; want //aegis:allow(rule) reason")
-		case RuleByName(a.rule) == nil:
-			report(a, "suppression names unknown rule %q", a.rule)
-		case a.reason == "":
-			report(a, "suppression of %q has no reason; state why the site is exempt", a.rule)
-		case running[a.rule] && !a.used:
-			report(a, "unused suppression of %q; the site no longer trips the rule", a.rule)
+		if !ownFiles[a.pos.Filename] {
+			continue
+		}
+		out = append(out, AllowRecord{
+			Pos:       a.pos,
+			Rule:      a.rule,
+			Reason:    a.reason,
+			Malformed: a.rule == "",
+		})
+	}
+	return out
+}
+
+// usedKeys returns the keys of every allow marked used during this
+// analysis, in discovery order. Keys may reference files of dependency
+// packages: deep rules mark call-site allows along whole call chains.
+func (s *suppressions) usedKeys() []string {
+	var out []string
+	for _, a := range s.order {
+		if a.used {
+			out = append(out, a.key())
 		}
 	}
 	return out

@@ -1,0 +1,112 @@
+// Package daemon exercises the lockjournal rule: flight-journal writes
+// are legal only in //aegis:serialized functions or functions provably
+// reached while holding the daemon mutex.
+package daemon
+
+import (
+	"sync"
+
+	"fixture/internal/telemetry/flight"
+)
+
+// Daemon mirrors the real daemon's lock-plus-journal shape.
+type Daemon struct {
+	mu   sync.Mutex
+	f    *flight.Handle
+	tick int64
+}
+
+// Attach acquires the mutex at depth 0; the write after Lock is legal,
+// and heldness propagates into finish.
+func (d *Daemon) Attach() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.f.Record(d.tick, 0, 0, 0, 0, 0)
+	d.finish()
+}
+
+// finish is provably held: its only caller writes after acquiring.
+func (d *Daemon) finish() {
+	d.f.Record(d.tick, 1, 0, 0, 0, 0)
+}
+
+// barrier is trusted via the annotation.
+//
+//aegis:serialized
+func (d *Daemon) barrier() {
+	d.f.Incident(d.tick, 2, 0, 0, 0, 0)
+}
+
+// Rogue writes with no lock context at all.
+func (d *Daemon) Rogue() {
+	d.f.Record(d.tick, 3, 0, 0, 0, 0) // want "which is neither //aegis:serialized nor provably holding the daemon mutex: it has no callers in the call graph"
+}
+
+// Entry -> middle -> sink: unheldness propagates down a two-hop chain.
+func (d *Daemon) Entry() {
+	d.middle()
+}
+
+func (d *Daemon) middle() {
+	d.sink()
+}
+
+func (d *Daemon) sink() {
+	d.f.Record(d.tick, 4, 0, 0, 0, 0) // want "its caller (*internal/daemon.Daemon).middle does not hold the mutex"
+}
+
+// Worker launches pump from a goroutine closure: the lockset does not
+// survive into the literal.
+func (d *Daemon) Worker() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		d.pump()
+	}()
+}
+
+func (d *Daemon) pump() {
+	d.f.Record(d.tick, 5, 0, 0, 0, 0) // want "it is called from a func literal in (*internal/daemon.Daemon).Worker"
+}
+
+// Inline writes the journal from inside a func literal even though the
+// enclosing function holds the mutex: the literal can outlive the
+// serialized section.
+func (d *Daemon) Inline() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := func() {
+		d.f.Record(d.tick, 6, 0, 0, 0, 0) // want "inside a func literal in (*internal/daemon.Daemon).Inline"
+	}
+	f()
+}
+
+// Spawn launches the write itself on a goroutine.
+func (d *Daemon) Spawn() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go d.f.Record(d.tick, 7, 0, 0, 0, 0) // want "launched by a go statement in (*internal/daemon.Daemon).Spawn"
+}
+
+// ticker is dispatched through an interface, so step's lock context is a
+// conservative over-approximation even though Drive holds the mutex.
+type ticker interface {
+	step()
+}
+
+// Drive holds the mutex but calls through the interface.
+func (d *Daemon) Drive(t ticker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t.step()
+}
+
+func (d *Daemon) step() {
+	d.f.Record(d.tick, 8, 0, 0, 0, 0) // want "it is reachable via conservative interface dispatch from (*internal/daemon.Daemon).Drive"
+}
+
+// Boot suppresses a deliberate pre-concurrency write with a reason.
+func (d *Daemon) Boot() {
+	//aegis:allow(lockjournal) startup write happens before any goroutine exists, so no lock is needed yet
+	d.f.Record(d.tick, 9, 0, 0, 0, 0)
+}

@@ -1,0 +1,16 @@
+// Package flight stubs the journal API surface the lockjournal rule
+// matches (Record/Incident methods of a package whose path ends in
+// internal/telemetry/flight).
+package flight
+
+// Code mirrors the real flight code enum.
+type Code int
+
+// Handle mirrors the real journal handle.
+type Handle struct{}
+
+// Record appends a record to the journal.
+func (h *Handle) Record(tick int64, code, sub Code, a, b, c float64) {}
+
+// Incident appends an incident record to the journal.
+func (h *Handle) Incident(tick int64, code, sub Code, a, b, c float64) {}

@@ -21,6 +21,7 @@ package faultinject
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"github.com/repro/aegis/internal/rng"
@@ -71,7 +72,9 @@ func (k Kind) String() string {
 	case KindDrawExtreme:
 		return "draw-extreme"
 	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+		// String is reachable from hot tick paths (incident labeling), so
+		// the out-of-range fallback avoids fmt formatting machinery.
+		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 

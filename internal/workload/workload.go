@@ -39,6 +39,7 @@ func NewLibrary(legal []isa.Variant) *Library {
 
 // DefaultLibrary builds the AMD EPYC library used across the evaluation.
 func DefaultLibrary(seed uint64) *Library {
+	//aegis:allow(detranddeep) isa spec generation is a pure table builder over (seed); its local addVariant closures are deterministic by construction and review
 	res := isa.Cleanup(isa.SpecAMDEpyc(seed), isa.AMDEpycFeatures())
 	return NewLibrary(res.Legal)
 }
